@@ -1,0 +1,32 @@
+"""Shared setup for the benchmark harness.
+
+Each benchmark regenerates one paper artefact at the quick experiment
+scale (see ``repro.experiments.common``).  pytest-benchmark runs every
+artefact once (``pedantic(rounds=1)``) — these are reproduction runs, not
+micro-benchmarks, so repeated rounds would only multiply wall time.
+
+Set ``REPRO_FULL=1`` to run the paper-size grids instead (hours).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentScale
+
+#: Scale used by the benchmark suite: quick epochs, capped batches.
+BENCH_SCALE = ExperimentScale(
+    data_length=700, d_model=32, num_heads=2, num_layers=1, ffn_dim=64,
+    epochs=10, teacher_epochs=5, batch_size=16, max_batches=8,
+    llm_pretrain_steps=60, prompt_value_stride=8, seed=0,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    return BENCH_SCALE
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,42 @@
+"""Benchmark: extension ablation — last-token vs mean pooling in the CLM.
+
+DESIGN.md calls out the last-token extractor as a design choice worth
+ablating: the paper argues the last token is the knowledge-richest state
+under causal masking.  This bench compares both pooling modes inside the
+full TimeKD pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import TimeKDForecaster
+from repro.eval import format_table
+from repro.experiments.common import prepare_data, shared_backbone, timekd_config
+from repro.llm import CalibratedLanguageModel
+from repro.nn import init as nn_init
+from conftest import run_once
+
+
+def test_pooling_ablation(benchmark, bench_scale):
+    data = prepare_data("ETTm1", 24, bench_scale)
+
+    def regenerate():
+        rows = []
+        for pooling in ("last", "mean"):
+            config = timekd_config(data, bench_scale)
+            nn_init.seed_everything(config.seed)
+            backbone = shared_backbone(config.llm_name,
+                                       bench_scale.llm_pretrain_steps)
+            clm = CalibratedLanguageModel(
+                backbone, delta=config.calibration_delta, pooling=pooling)
+            model = TimeKDForecaster(config, clm=clm).fit(data)
+            metrics = model.evaluate(data.test)
+            rows.append({"pooling": pooling, **metrics})
+        return rows
+
+    rows = run_once(benchmark, regenerate)
+    print()
+    print(format_table(rows, title="Ablation — CLM pooling (ETTm1)"))
+    assert len(rows) == 2
+    assert all(np.isfinite(r["mse"]) for r in rows)

@@ -1,0 +1,31 @@
+"""Benchmark: regenerate paper Figure 10 (prediction vs ground truth).
+
+Expected shape: stitched student forecasts track the ground truth on the
+four plotted ETTh1 variables — positive correlation on the strongly
+periodic load channels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import figure10
+from conftest import run_once
+
+
+def test_figure10_prediction_vs_truth(benchmark, bench_scale):
+    output = run_once(benchmark, lambda: figure10.run(scale=bench_scale))
+
+    prediction = output["prediction"]
+    truth = output["ground_truth"]
+    assert prediction.shape == truth.shape
+    assert prediction.shape[1] == len(figure10.VARIABLES)
+    assert np.isfinite(prediction).all()
+
+    print("\ncorrelations:", {k: round(v, 3)
+                              for k, v in output["correlations"].items()})
+    # the periodic load channels must be tracked with positive correlation
+    assert output["correlations"]["HUFL"] > 0.2
+    assert output["correlations"]["MUFL"] > 0.2
+    # on average the forecasts follow the series
+    assert np.mean(list(output["correlations"].values())) > 0.2

@@ -1,0 +1,32 @@
+"""Benchmark: regenerate paper Figure 6 (component ablations).
+
+Expected shape: the full TimeKD beats the mean of its ablated variants —
+removing privileged information, SCA or the CLM costs accuracy.  At the
+quick scale individual variants can land inside noise, so the assertion
+is on the aggregate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval import format_table
+from repro.experiments import figure6
+from conftest import run_once
+
+
+def test_figure6_component_ablations(benchmark, bench_scale):
+    def regenerate():
+        return figure6.run(scale=bench_scale, datasets=["Weather"])
+
+    rows = run_once(benchmark, regenerate)
+    print()
+    print(format_table(rows, title="Figure 6 (quick) — ablations (Weather)"))
+
+    assert {r["model"] for r in rows} == set(figure6.VARIANTS)
+    assert all(np.isfinite(r["mse"]) for r in rows)
+
+    full = next(r for r in rows if r["model"] == "TimeKD")["mse"]
+    ablated = [r["mse"] for r in rows if r["model"] != "TimeKD"]
+    assert full <= np.mean(ablated) * 1.02, (
+        "full TimeKD should at least match the average ablated variant")

@@ -1,0 +1,31 @@
+"""Benchmark: regenerate paper Figure 7 (accuracy vs data fraction).
+
+Expected shape: MSE at 100% of the training data is lower than at 20%,
+and the overall trend is downward as data grows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval import format_table
+from repro.experiments import figure7
+from conftest import run_once
+
+
+def test_figure7_scalability(benchmark, bench_scale):
+    def regenerate():
+        return figure7.run(scale=bench_scale, datasets=["ETTm1"])
+
+    rows = run_once(benchmark, regenerate)
+    print()
+    print(format_table(rows, title="Figure 7 (quick) — data scalability"))
+
+    fractions = [r["train_fraction"] for r in rows]
+    assert fractions == figure7.FRACTIONS
+    mses = [r["mse"] for r in rows]
+    assert all(np.isfinite(m) for m in mses)
+
+    assert mses[-1] < mses[0], "more data must improve accuracy"
+    # downward trend: second half of the curve below the first half
+    assert np.mean(mses[-2:]) <= np.mean(mses[:2])

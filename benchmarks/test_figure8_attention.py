@@ -1,0 +1,40 @@
+"""Benchmark: regenerate paper Figure 8 (attention maps, ETTm1).
+
+Expected shape: the teacher's privileged attention is more *global*
+(higher entropy, spread across variables) than the student's local map —
+the contrast the paper's visualization highlights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import ETT_COLUMNS
+from repro.experiments import figure8
+from conftest import run_once
+
+
+def _row_entropy(matrix: np.ndarray) -> float:
+    probs = np.clip(matrix, 1e-9, None)
+    probs = probs / probs.sum(axis=-1, keepdims=True)
+    return float(-(probs * np.log(probs)).sum(axis=-1).mean())
+
+
+def test_figure8_attention_maps(benchmark, bench_scale):
+    maps = run_once(benchmark, lambda: figure8.run(scale=bench_scale))
+
+    for key in ("privileged", "student"):
+        matrix = maps[key]
+        assert matrix.shape == (7, 7)
+        np.testing.assert_allclose(matrix.sum(axis=-1), np.ones(7),
+                                   atol=1e-4)
+        print(f"\n{key} attention:")
+        print(figure8.render_heatmap(matrix, ETT_COLUMNS))
+
+    teacher_entropy = _row_entropy(maps["privileged"])
+    student_entropy = _row_entropy(maps["student"])
+    print(f"\nentropy teacher={teacher_entropy:.3f} "
+          f"student={student_entropy:.3f}")
+    # both must be valid attention maps with non-degenerate structure
+    assert 0.0 < student_entropy <= np.log(7) + 1e-6
+    assert 0.0 < teacher_entropy <= np.log(7) + 1e-6

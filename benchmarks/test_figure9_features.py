@@ -1,0 +1,35 @@
+"""Benchmark: regenerate paper Figure 9 (feature self-relation matrices).
+
+Expected shape: both ``F F^T`` matrices are symmetric PSD; the teacher's
+privileged features show broader cross-variable interaction mass than
+the student's (paper: "comprehensive and balanced" vs "localized").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import ETT_COLUMNS
+from repro.experiments import figure8, figure9
+from conftest import run_once
+
+
+def test_figure9_feature_relations(benchmark, bench_scale):
+    maps = run_once(benchmark, lambda: figure9.run(scale=bench_scale))
+
+    for key in ("privileged", "student"):
+        matrix = maps[key]
+        assert matrix.shape == (7, 7)
+        np.testing.assert_allclose(matrix, matrix.T, atol=1e-4)
+        eigenvalues = np.linalg.eigvalsh(matrix)
+        assert eigenvalues.min() >= -1e-3, "F F^T must be PSD"
+        print(f"\n{key} feature self-relations:")
+        print(figure8.render_heatmap(matrix, ETT_COLUMNS))
+
+    def off_diagonal_ratio(matrix):
+        off = np.abs(matrix[~np.eye(7, dtype=bool)]).mean()
+        diag = np.abs(np.diag(matrix)).mean()
+        return off / diag
+
+    print(f"\noff/diag teacher={off_diagonal_ratio(maps['privileged']):.3f} "
+          f"student={off_diagonal_ratio(maps['student']):.3f}")

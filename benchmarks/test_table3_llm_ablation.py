@@ -1,0 +1,28 @@
+"""Benchmark: regenerate paper Table III (LLM backbone ablation).
+
+Expected shape: model sizes strictly increase bert < gpt2 < llama and
+larger backbones trend toward lower error, as in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval import format_table
+from repro.experiments import table3
+from conftest import run_once
+
+
+def test_table3_llm_backbone_ablation(benchmark, bench_scale):
+    rows = run_once(benchmark, lambda: table3.run(scale=bench_scale))
+    print()
+    print(format_table(rows, title="Table III (quick) — LLM backbones"))
+
+    assert [r["llm"] for r in rows] == table3.BACKBONES
+    sizes = [r["model_size_M"] for r in rows]
+    assert sizes == sorted(sizes), "model sizes must increase bert<gpt2<llama"
+    assert all(np.isfinite(r["mse"]) for r in rows)
+
+    # larger backbones should not be dramatically worse than the smallest
+    smallest = rows[0]["mse"]
+    assert rows[-1]["mse"] <= smallest * 1.10

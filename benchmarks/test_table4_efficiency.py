@@ -1,0 +1,32 @@
+"""Benchmark: regenerate paper Table IV (resource efficiency, ETTm1 h96).
+
+Expected shape (paper Section V-B5): TimeKD posts the fastest inference
+of the LLM-based methods — its student runs alone at test time, while
+TimeCMA / Time-LLM / OFA keep a language model in the inference path.
+"""
+
+from __future__ import annotations
+
+from repro.eval import format_table
+from repro.experiments import table4
+from conftest import run_once
+
+
+def test_table4_resource_efficiency(benchmark, bench_scale):
+    rows = run_once(benchmark, lambda: table4.run(scale=bench_scale))
+    print()
+    print(format_table(rows, title="Table IV (quick) — resource efficiency"))
+
+    by_model = {r["model"]: r for r in rows}
+    assert set(by_model) == {"TimeKD", "TimeCMA", "Time-LLM", "UniTime",
+                             "OFA", "iTransformer", "PatchTST"}
+    for row in rows:
+        assert row["trainable_params_M"] > 0
+        assert row["inference_s_per_iter"] > 0
+
+    # TimeKD inference must beat every baseline that keeps an LM in the
+    # inference path (the headline efficiency claim)
+    timekd_infer = by_model["TimeKD"]["inference_s_per_iter"]
+    assert timekd_infer < by_model["TimeCMA"]["inference_s_per_iter"]
+    assert timekd_infer < by_model["Time-LLM"]["inference_s_per_iter"]
+    assert timekd_infer < by_model["OFA"]["inference_s_per_iter"]

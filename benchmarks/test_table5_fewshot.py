@@ -1,0 +1,33 @@
+"""Benchmark: regenerate paper Table V (few-shot, 10% training data).
+
+Expected shape: TimeKD stays competitive under data scarcity thanks to
+the pretrained-CLM teacher; it leads or trails the winner closely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval import best_by, format_table
+from repro.experiments import table5
+from conftest import run_once
+
+MODELS = ["TimeKD", "TimeCMA", "iTransformer", "PatchTST"]
+
+
+def test_table5_few_shot(benchmark, bench_scale):
+    def regenerate():
+        return table5.run(scale=bench_scale, datasets=["ETTm1"],
+                          models=MODELS)
+
+    rows = run_once(benchmark, regenerate)
+    print()
+    print(format_table(rows, title="Table V (quick) — few-shot (10% data)"))
+
+    assert len(rows) == len(MODELS)
+    assert all(r["train_fraction"] == 0.1 for r in rows)
+    assert all(np.isfinite(r["mse"]) for r in rows)
+
+    winner = best_by(rows, "mse")
+    timekd = next(r for r in rows if r["model"] == "TimeKD")
+    assert timekd["mse"] <= winner["mse"] * 1.15

@@ -1,0 +1,34 @@
+"""Benchmark: regenerate paper Table VI (zero-shot ETT transfer).
+
+Expected shape: models trained on ETTh1 transfer to ETTh2 without
+catastrophic degradation; TimeKD ranks in the leading group.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval import best_by, format_table
+from repro.experiments import table6
+from conftest import run_once
+
+MODELS = ["TimeKD", "TimeCMA", "iTransformer"]
+
+
+def test_table6_zero_shot(benchmark, bench_scale):
+    def regenerate():
+        return table6.run(scale=bench_scale,
+                          transfers=[("ETTh1", "ETTh2")],
+                          models=MODELS)
+
+    rows = run_once(benchmark, regenerate)
+    print()
+    print(format_table(rows, title="Table VI (quick) — zero-shot transfer"))
+
+    assert len(rows) == len(MODELS)
+    assert all(r["transfer"] == "ETTh1->ETTh2" for r in rows)
+    assert all(np.isfinite(r["mse"]) for r in rows)
+
+    winner = best_by(rows, "mse")
+    timekd = next(r for r in rows if r["model"] == "TimeKD")
+    assert timekd["mse"] <= winner["mse"] * 1.20

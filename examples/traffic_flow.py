@@ -1,0 +1,62 @@
+"""Short-term traffic forecasting on a PEMS-style sensor network.
+
+Demonstrates the channel-dependent advantage: graph-diffused traffic
+flows couple neighbouring sensors, so the inverted-embedding models
+(TimeKD, iTransformer) that attend *across sensors* beat a
+channel-independent model (PatchTST), mirroring paper Table II.
+
+Run with::
+
+    python examples/traffic_flow.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import TimeKDConfig, TimeKDForecaster
+from repro.baselines import BaselineConfig, build_baseline
+from repro.data import load_dataset, make_forecasting_data
+from repro.eval import TrainSettings, evaluate_forecast_model, format_table, train_forecast_model
+
+
+def main() -> None:
+    data = make_forecasting_data(
+        load_dataset("PEMS08", length=900), history_length=96, horizon=12)
+    print(f"{data.name}: {data.num_variables} road sensors, horizon 12 "
+          f"(= 1 hour at 5-minute ticks)")
+
+    rows = []
+
+    timekd = TimeKDForecaster(TimeKDConfig(
+        horizon=12, d_model=32, num_heads=2, num_layers=1, ffn_dim=64,
+        teacher_epochs=5, student_epochs=10, batch_size=16,
+        max_batches_per_epoch=8, llm_pretrain_steps=60,
+        prompt_value_stride=8, frequency_minutes=5,
+    ))
+    timekd.fit(data)
+    rows.append({"model": "TimeKD", **timekd.evaluate(data.test)})
+
+    settings = TrainSettings(epochs=10, batch_size=16,
+                             max_batches_per_epoch=8)
+    for name in ("iTransformer", "PatchTST"):
+        model = build_baseline(name, BaselineConfig(
+            history_length=96, horizon=12,
+            num_variables=data.num_variables,
+            d_model=32, num_heads=2, num_layers=1, ffn_dim=64))
+        train_forecast_model(model, data, settings)
+        rows.append({"model": name,
+                     **evaluate_forecast_model(model, data.test)})
+
+    print(format_table(rows, title="PEMS08, horizon 12"))
+
+    # rush-hour check: where are forecast errors largest across the day?
+    history, future = data.test[0]
+    prediction = timekd.predict(history)
+    per_step = np.abs(prediction - future).mean(axis=1)
+    print("\nmean absolute error per forecast step (5-min ticks):")
+    print("  " + " ".join(f"{e:.2f}" for e in per_step))
+
+
+if __name__ == "__main__":
+    main()

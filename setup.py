@@ -1,0 +1,6 @@
+"""Legacy setup shim: this environment lacks the `wheel` package needed
+for PEP 660 editable installs, so `pip install -e . --no-build-isolation`
+falls back to this setup.py (or use `python setup.py develop`)."""
+from setuptools import setup
+
+setup()

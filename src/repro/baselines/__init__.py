@@ -1,0 +1,34 @@
+"""``repro.baselines`` — the paper's comparison models.
+
+Small, faithful reimplementations on the ``repro.nn`` substrate, keeping
+each architecture's signature: inverted embedding (iTransformer,
+TimeCMA), channel-independent patching (PatchTST, OFA, Time-LLM,
+UniTime), frozen-LM feature extraction (OFA, Time-LLM, TimeCMA), and
+decomposition-linear (DLinear).
+"""
+
+from .base import BaselineConfig, ForecastModel, InstanceNorm
+from .dlinear import DLinear
+from .itransformer import ITransformer
+from .ofa import OFA
+from .patchtst import PatchTST
+from .registry import BASELINE_NAMES, LLM_BASED, build_baseline
+from .timecma import TimeCMA
+from .timellm import TimeLLM
+from .unitime import UniTime
+
+__all__ = [
+    "BaselineConfig",
+    "ForecastModel",
+    "InstanceNorm",
+    "ITransformer",
+    "PatchTST",
+    "DLinear",
+    "OFA",
+    "TimeLLM",
+    "UniTime",
+    "TimeCMA",
+    "BASELINE_NAMES",
+    "LLM_BASED",
+    "build_baseline",
+]

@@ -1,0 +1,87 @@
+"""Shared plumbing for baseline forecasting models.
+
+Every baseline is a :class:`repro.nn.Module` mapping a history window
+``(B, H, N)`` to a forecast ``(B, M, N)``; a common config keeps the
+experiment harness uniform across architectures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..nn import Module, Tensor
+
+__all__ = ["BaselineConfig", "ForecastModel", "InstanceNorm"]
+
+
+@dataclass(frozen=True)
+class BaselineConfig:
+    """Shape and capacity settings shared by all baselines."""
+
+    history_length: int = 96
+    horizon: int = 24
+    num_variables: int = 7
+    d_model: int = 64
+    num_heads: int = 4
+    num_layers: int = 2
+    ffn_dim: int = 128
+    dropout: float = 0.0
+    patch_length: int = 16
+    patch_stride: int = 8
+    llm_name: str = "gpt2-tiny"
+
+    def with_updates(self, **changes) -> "BaselineConfig":
+        return replace(self, **changes)
+
+
+class ForecastModel(Module):
+    """Base class fixing the forecast interface."""
+
+    def __init__(self, config: BaselineConfig):
+        super().__init__()
+        self.config = config
+
+    def forward(self, history: np.ndarray | Tensor) -> Tensor:
+        raise NotImplementedError
+
+    def predict(self, history: np.ndarray) -> np.ndarray:
+        from ..nn import no_grad
+
+        with no_grad():
+            out = self.forward(history)
+        return out.data
+
+
+class InstanceNorm:
+    """Non-learnable per-instance normalization helper.
+
+    Several baselines (PatchTST, iTransformer, OFA, Time-LLM) z-score
+    each window over time and restore statistics on the forecast.
+    Stateless across calls except for the remembered statistics.
+    """
+
+    def __init__(self, eps: float = 1e-5):
+        self.eps = eps
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    def normalize(self, x: Tensor) -> Tensor:
+        mean = x.data.mean(axis=1, keepdims=True)
+        std = np.sqrt(x.data.var(axis=1, keepdims=True) + self.eps)
+        self._mean, self._std = mean, std
+        return (x - Tensor(mean)) / Tensor(std)
+
+    def denormalize(self, y: Tensor) -> Tensor:
+        if self._mean is None:
+            raise RuntimeError("denormalize before normalize")
+        return y * Tensor(self._std) + Tensor(self._mean)
+
+
+def as_batched_tensor(history) -> Tensor:
+    """Coerce ``(H, N)`` or ``(B, H, N)`` input into a batched tensor."""
+    x = history if isinstance(history, Tensor) else Tensor(np.asarray(history, np.float32))
+    if x.ndim == 2:
+        x = x.reshape(1, *x.shape)
+    return x

@@ -1,0 +1,50 @@
+"""DLinear (Zeng et al., AAAI 2023) baseline.
+
+Decomposition-linear: a moving-average split into trend and seasonal
+components, each forecast by a single linear map shared across channels.
+Not part of the paper's main tables but cited ([27]) and a useful sanity
+anchor — any transformer that loses to DLinear is misconfigured.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Linear, Tensor
+from .base import BaselineConfig, ForecastModel, as_batched_tensor
+
+__all__ = ["DLinear"]
+
+
+class DLinear(ForecastModel):
+    """Moving-average decomposition + two linear heads."""
+
+    def __init__(self, config: BaselineConfig, kernel_size: int = 25):
+        super().__init__(config)
+        self.kernel_size = min(kernel_size, config.history_length)
+        self.trend_head = Linear(config.history_length, config.horizon)
+        self.seasonal_head = Linear(config.history_length, config.horizon)
+
+    def _moving_average(self, x: np.ndarray) -> np.ndarray:
+        """Centered moving average over time with edge padding."""
+        k = self.kernel_size
+        pad_left = (k - 1) // 2
+        pad_right = k - 1 - pad_left
+        padded = np.concatenate(
+            [np.repeat(x[:, :1], pad_left, axis=1), x,
+             np.repeat(x[:, -1:], pad_right, axis=1)], axis=1)
+        kernel = np.ones(k, dtype=np.float32) / k
+        smoothed = np.apply_along_axis(
+            lambda s: np.convolve(s, kernel, mode="valid"), 1, padded)
+        return smoothed.astype(np.float32)
+
+    def forward(self, history) -> Tensor:
+        x = as_batched_tensor(history)
+        trend_data = self._moving_average(x.data)
+        trend = Tensor(trend_data)
+        seasonal = x - trend
+        trend_tokens = trend.swapaxes(1, 2)       # (B, N, H)
+        seasonal_tokens = seasonal.swapaxes(1, 2)
+        forecast = (self.trend_head(trend_tokens)
+                    + self.seasonal_head(seasonal_tokens))
+        return forecast.swapaxes(1, 2)

@@ -1,0 +1,39 @@
+"""iTransformer (Liu et al., ICLR 2024) baseline.
+
+Inverted embedding: each variable's whole history becomes one token, the
+encoder attends across variables, and a linear head maps tokens back to
+the horizon.  This is the small classic model the paper benchmarks
+TimeKD's efficiency against (Table IV).
+"""
+
+from __future__ import annotations
+
+from ..nn import Linear, Tensor, TransformerEncoder
+from .base import BaselineConfig, ForecastModel, InstanceNorm, as_batched_tensor
+
+__all__ = ["ITransformer"]
+
+
+class ITransformer(ForecastModel):
+    """Instance norm → inverted embedding → encoder → linear head."""
+
+    def __init__(self, config: BaselineConfig):
+        super().__init__(config)
+        self.norm = InstanceNorm()
+        self.embedding = Linear(config.history_length, config.d_model)
+        self.encoder = TransformerEncoder(
+            dim=config.d_model,
+            num_heads=config.num_heads,
+            num_layers=config.num_layers,
+            ffn_dim=config.ffn_dim,
+            dropout=config.dropout,
+        )
+        self.head = Linear(config.d_model, config.horizon)
+
+    def forward(self, history) -> Tensor:
+        x = as_batched_tensor(history)
+        normalized = self.norm.normalize(x)
+        tokens = self.embedding(normalized.swapaxes(1, 2))  # (B, N, D)
+        encoded = self.encoder(tokens)
+        projected = self.head(encoded).swapaxes(1, 2)  # (B, M, N)
+        return self.norm.denormalize(projected)

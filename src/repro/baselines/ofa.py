@@ -1,0 +1,71 @@
+"""OFA / GPT4TS (Zhou et al., NeurIPS 2023) baseline.
+
+"One Fits All": time-series patches are linearly embedded into a
+*pretrained, mostly frozen* language model; only the input/output
+projections, positional embeddings and the LayerNorms are tuned — the
+attention and feed-forward weights stay frozen, exactly the paper's
+description of OFA ("freezing the attention and feed-forward layers in
+the LLM while fine-tuning other layers").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..llm.backbones import TransformerLM
+from ..nn import Linear, PositionalEncoding, Tensor, stack
+from .base import BaselineConfig, ForecastModel, InstanceNorm, as_batched_tensor
+
+__all__ = ["OFA"]
+
+
+class OFA(ForecastModel):
+    """Patch embedding → frozen LM blocks → flatten head."""
+
+    def __init__(self, config: BaselineConfig, backbone: TransformerLM):
+        super().__init__(config)
+        self.norm = InstanceNorm()
+        self.backbone = backbone
+        self._freeze_backbone_except_norms()
+        lm_dim = backbone.config.dim
+
+        self.patch_length = min(config.patch_length, config.history_length)
+        self.patch_stride = max(1, config.patch_stride)
+        self.num_patches = 1 + max(
+            0, (config.history_length - self.patch_length) // self.patch_stride)
+        self.input_projection = Linear(self.patch_length, lm_dim)
+        self.positional = PositionalEncoding(self.num_patches, lm_dim)
+        self.head = Linear(self.num_patches * lm_dim, config.horizon)
+
+    def _freeze_backbone_except_norms(self) -> None:
+        """Freeze attention/FFN; keep LayerNorm/RMSNorm parameters live."""
+        self.backbone.freeze()
+        for name, parameter in self.backbone.named_parameters():
+            if "norm" in name and ("gamma" in name or "beta" in name):
+                parameter.requires_grad = True
+
+    def _patch(self, x: Tensor) -> Tensor:
+        patches = []
+        for p in range(self.num_patches):
+            start = p * self.patch_stride
+            patches.append(x[:, start:start + self.patch_length])
+        return stack(patches, axis=1)
+
+    def forward(self, history) -> Tensor:
+        x = as_batched_tensor(history)
+        batch, length, num_vars = x.shape
+        normalized = self.norm.normalize(x)
+        series = normalized.swapaxes(1, 2).reshape(batch * num_vars, length)
+        tokens = self.positional(self.input_projection(self._patch(series)))
+
+        bias = self.backbone._attention_bias(self.num_patches, None)
+        hidden = tokens
+        for block in self.backbone.blocks:
+            hidden = block(hidden, attn_bias=bias)
+        hidden = self.backbone.final_norm(hidden)
+
+        flattened = hidden.reshape(
+            batch * num_vars, self.num_patches * self.backbone.config.dim)
+        forecast = self.head(flattened).reshape(
+            batch, num_vars, self.config.horizon)
+        return self.norm.denormalize(forecast.swapaxes(1, 2))

@@ -1,0 +1,61 @@
+"""PatchTST (Nie et al., ICLR 2023) baseline.
+
+Channel-independent patching: every variable is treated as a separate
+univariate series, sliced into overlapping patches that become the
+transformer's tokens; a flattening head maps encoded patches to the
+horizon.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Linear, PositionalEncoding, Tensor, TransformerEncoder, stack
+from .base import BaselineConfig, ForecastModel, InstanceNorm, as_batched_tensor
+
+__all__ = ["PatchTST"]
+
+
+class PatchTST(ForecastModel):
+    """Instance norm → per-channel patches → encoder → flatten head."""
+
+    def __init__(self, config: BaselineConfig):
+        super().__init__(config)
+        self.norm = InstanceNorm()
+        self.patch_length = min(config.patch_length, config.history_length)
+        self.patch_stride = max(1, config.patch_stride)
+        self.num_patches = 1 + max(
+            0, (config.history_length - self.patch_length) // self.patch_stride)
+        self.patch_embedding = Linear(self.patch_length, config.d_model)
+        self.positional = PositionalEncoding(self.num_patches, config.d_model)
+        self.encoder = TransformerEncoder(
+            dim=config.d_model,
+            num_heads=config.num_heads,
+            num_layers=config.num_layers,
+            ffn_dim=config.ffn_dim,
+            dropout=config.dropout,
+        )
+        self.head = Linear(self.num_patches * config.d_model, config.horizon)
+
+    def _patch(self, x: Tensor) -> Tensor:
+        """Slice ``(B*N, H)`` series into ``(B*N, P, patch_len)``."""
+        patches = []
+        for p in range(self.num_patches):
+            start = p * self.patch_stride
+            patches.append(x[:, start:start + self.patch_length])
+        return stack(patches, axis=1)
+
+    def forward(self, history) -> Tensor:
+        x = as_batched_tensor(history)
+        batch, length, num_vars = x.shape
+        normalized = self.norm.normalize(x)
+        # channel independence: fold variables into the batch axis
+        series = normalized.swapaxes(1, 2).reshape(batch * num_vars, length)
+        tokens = self.patch_embedding(self._patch(series))
+        tokens = self.positional(tokens)
+        encoded = self.encoder(tokens)
+        flattened = encoded.reshape(batch * num_vars,
+                                    self.num_patches * self.config.d_model)
+        forecast = self.head(flattened).reshape(batch, num_vars,
+                                                self.config.horizon)
+        return self.norm.denormalize(forecast.swapaxes(1, 2))

@@ -1,0 +1,60 @@
+"""Baseline factory: build any comparison model by paper name."""
+
+from __future__ import annotations
+
+from ..llm import Vocabulary, get_pretrained
+from .base import BaselineConfig, ForecastModel
+from .dlinear import DLinear
+from .itransformer import ITransformer
+from .ofa import OFA
+from .patchtst import PatchTST
+from .timecma import TimeCMA
+from .timellm import TimeLLM
+from .unitime import UniTime
+
+__all__ = ["BASELINE_NAMES", "LLM_BASED", "build_baseline"]
+
+#: Models appearing in the paper's comparison tables, plus DLinear.
+BASELINE_NAMES = [
+    "TimeCMA", "Time-LLM", "UniTime", "OFA", "iTransformer", "PatchTST",
+    "DLinear",
+]
+
+#: Baselines that embed a language model (need a pretrained backbone).
+LLM_BASED = {"TimeCMA", "Time-LLM", "OFA"}
+
+
+def build_baseline(
+    name: str,
+    config: BaselineConfig,
+    backbone=None,
+    vocab: Vocabulary | None = None,
+    llm_pretrain_steps: int = 120,
+    frequency_minutes: int = 15,
+) -> ForecastModel:
+    """Instantiate a baseline by its paper name.
+
+    LLM-based baselines receive a shared pretrained ``backbone`` (built
+    on demand when omitted) so experiment sweeps amortize pretraining.
+    """
+    canonical = name.lower().replace("-", "").replace("_", "")
+    if canonical in ("timecma", "timellm", "ofa") and backbone is None:
+        vocab = vocab or Vocabulary()
+        backbone = get_pretrained(config.llm_name, vocab=vocab,
+                                  steps=llm_pretrain_steps)
+    if canonical == "itransformer":
+        return ITransformer(config)
+    if canonical == "patchtst":
+        return PatchTST(config)
+    if canonical == "dlinear":
+        return DLinear(config)
+    if canonical == "ofa":
+        return OFA(config, backbone)
+    if canonical == "timellm":
+        return TimeLLM(config, backbone)
+    if canonical == "unitime":
+        return UniTime(config)
+    if canonical == "timecma":
+        return TimeCMA(config, backbone, vocab=vocab,
+                       frequency_minutes=frequency_minutes)
+    raise KeyError(f"unknown baseline {name!r}; available: {BASELINE_NAMES}")

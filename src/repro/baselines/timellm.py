@@ -1,0 +1,80 @@
+"""Time-LLM (Jin et al., ICLR 2024) baseline.
+
+Reprograms a frozen language model for forecasting: patch embeddings are
+mapped into the LM's representation space by cross-attending over a small
+set of *text prototypes* (learned linear combinations of the frozen LM's
+token embeddings); the LM backbone itself stays intact, and a flatten
+head reads the forecast off its output — matching the paper's summary
+("reprograms the time series with text prototypes, backbone language
+model remains intact").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..llm.backbones import TransformerLM
+from ..nn import Linear, MultiHeadAttention, Tensor, stack
+from .base import BaselineConfig, ForecastModel, InstanceNorm, as_batched_tensor
+
+__all__ = ["TimeLLM"]
+
+
+class TimeLLM(ForecastModel):
+    """Patch → prototype reprogramming → frozen LM → flatten head."""
+
+    def __init__(self, config: BaselineConfig, backbone: TransformerLM,
+                 num_prototypes: int = 16):
+        super().__init__(config)
+        self.norm = InstanceNorm()
+        self.backbone = backbone
+        self.backbone.freeze()
+        lm_dim = backbone.config.dim
+        vocab_size = backbone.config.vocab_size
+
+        self.patch_length = min(config.patch_length, config.history_length)
+        self.patch_stride = max(1, config.patch_stride)
+        self.num_patches = 1 + max(
+            0, (config.history_length - self.patch_length) // self.patch_stride)
+        self.patch_embedding = Linear(self.patch_length, lm_dim)
+        # prototypes = learned mixture over the frozen token embeddings
+        self.prototype_mixer = Linear(vocab_size, num_prototypes, bias=False)
+        self.reprogramming = MultiHeadAttention(lm_dim, config.num_heads)
+        self.head = Linear(self.num_patches * lm_dim, config.horizon)
+
+    def _patch(self, x: Tensor) -> Tensor:
+        patches = []
+        for p in range(self.num_patches):
+            start = p * self.patch_stride
+            patches.append(x[:, start:start + self.patch_length])
+        return stack(patches, axis=1)
+
+    def _prototypes(self, batch: int) -> Tensor:
+        """(B, K, D_lm) text prototypes from the frozen embedding table."""
+        table = self.backbone.token_embedding.weight.detach()  # (V, D)
+        prototypes = self.prototype_mixer(table.T).T  # (K, D)
+        expanded = prototypes.reshape(1, *prototypes.shape)
+        tiled = Tensor(np.ones((batch, 1, 1), dtype=np.float32)) * expanded
+        return tiled
+
+    def forward(self, history) -> Tensor:
+        x = as_batched_tensor(history)
+        batch, length, num_vars = x.shape
+        normalized = self.norm.normalize(x)
+        series = normalized.swapaxes(1, 2).reshape(batch * num_vars, length)
+        patches = self.patch_embedding(self._patch(series))
+
+        prototypes = self._prototypes(batch * num_vars)
+        reprogrammed = self.reprogramming(patches, prototypes, prototypes)
+
+        bias = self.backbone._attention_bias(self.num_patches, None)
+        hidden = reprogrammed
+        for block in self.backbone.blocks:
+            hidden = block(hidden, attn_bias=bias)
+        hidden = self.backbone.final_norm(hidden)
+
+        flattened = hidden.reshape(
+            batch * num_vars, self.num_patches * self.backbone.config.dim)
+        forecast = self.head(flattened).reshape(
+            batch, num_vars, self.config.horizon)
+        return self.norm.denormalize(forecast.swapaxes(1, 2))

@@ -1,0 +1,80 @@
+"""UniTime (Liu et al., WWW 2024) baseline.
+
+A language-empowered unified model: a learnable *domain instruction*
+token sequence is prepended to the patch tokens and both are processed by
+one Language-TS Transformer, aligning domain-specific characteristics via
+the instruction — matching the paper's description ("incorporating pure
+text instructions for cross-domain time series forecasting").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import (
+    Linear,
+    Parameter,
+    PositionalEncoding,
+    Tensor,
+    TransformerEncoder,
+    concatenate,
+    init,
+    stack,
+)
+from .base import BaselineConfig, ForecastModel, InstanceNorm, as_batched_tensor
+
+__all__ = ["UniTime"]
+
+
+class UniTime(ForecastModel):
+    """Instruction tokens + patch tokens → shared transformer → head."""
+
+    def __init__(self, config: BaselineConfig, num_instruction_tokens: int = 4):
+        super().__init__(config)
+        self.norm = InstanceNorm()
+        self.num_instruction_tokens = num_instruction_tokens
+        self.instruction = Parameter(
+            init.normal((num_instruction_tokens, config.d_model), std=0.02))
+
+        self.patch_length = min(config.patch_length, config.history_length)
+        self.patch_stride = max(1, config.patch_stride)
+        self.num_patches = 1 + max(
+            0, (config.history_length - self.patch_length) // self.patch_stride)
+        total_tokens = num_instruction_tokens + self.num_patches
+        self.patch_embedding = Linear(self.patch_length, config.d_model)
+        self.positional = PositionalEncoding(total_tokens, config.d_model)
+        self.encoder = TransformerEncoder(
+            dim=config.d_model,
+            num_heads=config.num_heads,
+            num_layers=config.num_layers,
+            ffn_dim=config.ffn_dim,
+            dropout=config.dropout,
+        )
+        self.head = Linear(self.num_patches * config.d_model, config.horizon)
+
+    def _patch(self, x: Tensor) -> Tensor:
+        patches = []
+        for p in range(self.num_patches):
+            start = p * self.patch_stride
+            patches.append(x[:, start:start + self.patch_length])
+        return stack(patches, axis=1)
+
+    def forward(self, history) -> Tensor:
+        x = as_batched_tensor(history)
+        batch, length, num_vars = x.shape
+        normalized = self.norm.normalize(x)
+        series = normalized.swapaxes(1, 2).reshape(batch * num_vars, length)
+        tokens = self.patch_embedding(self._patch(series))
+
+        ones = Tensor(np.ones((batch * num_vars, 1, 1), dtype=np.float32))
+        instruction = ones * self.instruction.reshape(
+            1, self.num_instruction_tokens, self.config.d_model)
+        sequence = concatenate([instruction, tokens], axis=1)
+        encoded = self.encoder(self.positional(sequence))
+
+        patch_states = encoded[:, self.num_instruction_tokens:, :]
+        flattened = patch_states.reshape(
+            batch * num_vars, self.num_patches * self.config.d_model)
+        forecast = self.head(flattened).reshape(
+            batch, num_vars, self.config.horizon)
+        return self.norm.denormalize(forecast.swapaxes(1, 2))

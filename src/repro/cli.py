@@ -1,0 +1,119 @@
+"""Command-line interface for training and forecasting with TimeKD.
+
+Usage::
+
+    python -m repro.cli train --dataset ETTm1 --horizon 24 \
+        --out artifacts/models/ettm1_h24.npz
+    python -m repro.cli evaluate --dataset ETTm1 --horizon 24 \
+        --weights artifacts/models/ettm1_h24.npz
+    python -m repro.cli compare --dataset Exchange --horizon 24 \
+        --models TimeKD iTransformer PatchTST
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import TimeKDConfig, TimeKDForecaster
+from .data import dataset_names, load_dataset, make_forecasting_data
+from .eval import format_table
+from .experiments.common import ExperimentScale, prepare_data, run_model, strip_private
+
+__all__ = ["main"]
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", required=True, choices=dataset_names())
+    parser.add_argument("--horizon", type=int, default=24)
+    parser.add_argument("--history", type=int, default=96)
+    parser.add_argument("--length", type=int, default=None,
+                        help="series length override (default per dataset)")
+    parser.add_argument("--epochs", type=int, default=10)
+    parser.add_argument("--d-model", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _scale(args) -> ExperimentScale:
+    return ExperimentScale(
+        history_length=args.history, d_model=args.d_model,
+        epochs=args.epochs, seed=args.seed)
+
+
+def _data(args):
+    series = load_dataset(args.dataset, length=args.length)
+    return make_forecasting_data(series, history_length=args.history,
+                                 horizon=args.horizon)
+
+
+def _cmd_train(args) -> int:
+    data = _data(args)
+    config = TimeKDConfig(
+        history_length=args.history, horizon=args.horizon,
+        d_model=args.d_model, student_epochs=args.epochs, seed=args.seed,
+        frequency_minutes=data.frequency_minutes,
+        num_variables=data.num_variables)
+    model = TimeKDForecaster(config).fit(data)
+    metrics = model.evaluate(data.test)
+    print(f"test MSE={metrics['mse']:.4f} MAE={metrics['mae']:.4f}")
+    if args.out:
+        model.save(args.out)
+        print(f"student saved to {args.out}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    data = _data(args)
+    config = TimeKDConfig(
+        history_length=args.history, horizon=args.horizon,
+        d_model=args.d_model, seed=args.seed,
+        frequency_minutes=data.frequency_minutes,
+        num_variables=data.num_variables)
+    model = TimeKDForecaster(config)
+    model.load(args.weights, data)
+    metrics = model.evaluate(data.test)
+    print(f"test MSE={metrics['mse']:.4f} MAE={metrics['mae']:.4f}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    scale = _scale(args)
+    data = prepare_data(args.dataset, args.horizon, scale,
+                        length=args.length)
+    rows = []
+    for name in args.models:
+        row = strip_private(run_model(name, data, scale))
+        rows.append(row)
+    print(format_table(
+        rows, title=f"{args.dataset}, horizon {args.horizon}"))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    train = commands.add_parser("train", help="train TimeKD on a dataset")
+    _add_common(train)
+    train.add_argument("--out", default=None, help="save student weights")
+    train.set_defaults(func=_cmd_train)
+
+    evaluate = commands.add_parser("evaluate",
+                                   help="evaluate saved student weights")
+    _add_common(evaluate)
+    evaluate.add_argument("--weights", required=True)
+    evaluate.set_defaults(func=_cmd_evaluate)
+
+    compare = commands.add_parser("compare",
+                                  help="compare models on one dataset")
+    _add_common(compare)
+    compare.add_argument("--models", nargs="+",
+                         default=["TimeKD", "iTransformer"])
+    compare.set_defaults(func=_cmd_compare)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

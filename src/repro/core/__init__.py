@@ -1,0 +1,37 @@
+"""``repro.core`` — the TimeKD framework (the paper's contribution).
+
+Cross-modality teacher (CLM + SCA + privileged Transformer), lightweight
+student (RevIN + inverted embedding + TSTEncoder), privileged knowledge
+distillation, and the public :class:`TimeKDForecaster` API.
+"""
+
+from .config import TimeKDConfig
+from .distill import (
+    correlation_distillation_loss,
+    feature_distillation_loss,
+    pkd_loss,
+)
+from .forecaster import TimeKDForecaster
+from .revin import RevIN
+from .sca import PlainSubtraction, SubtractiveCrossAttention
+from .store import EmbeddingStore
+from .student import StudentModel, StudentOutput
+from .teacher import CrossModalityTeacher, TeacherOutput
+from .trainer import TimeKDTrainer
+
+__all__ = [
+    "TimeKDConfig",
+    "TimeKDForecaster",
+    "TimeKDTrainer",
+    "CrossModalityTeacher",
+    "TeacherOutput",
+    "StudentModel",
+    "StudentOutput",
+    "RevIN",
+    "SubtractiveCrossAttention",
+    "PlainSubtraction",
+    "EmbeddingStore",
+    "correlation_distillation_loss",
+    "feature_distillation_loss",
+    "pkd_loss",
+]

@@ -1,0 +1,111 @@
+"""Configuration for the TimeKD framework.
+
+Every ablation in paper Figure 6 and Table III corresponds to one field
+here, so experiment code toggles components declaratively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["TimeKDConfig"]
+
+
+@dataclass(frozen=True)
+class TimeKDConfig:
+    """Hyperparameters and component switches for TimeKD.
+
+    Model-shape defaults follow the paper (Section V-A4): hidden
+    dimension 64, 2 transformer layers; the LLM depth is the backbone's
+    own depth (the paper uses 12 GPT-2 layers; our tiny backbones use
+    2-3, see DESIGN.md).
+
+    Ablation switches (paper Figure 6):
+
+    * ``use_privileged_info`` — ``w/o PI`` when False: the teacher sees
+      only the historical prompt (the "traditional teacher" of Fig. 1).
+    * ``calibration_delta`` — ``w/o CA`` when 0: vanilla attention mask.
+    * ``use_clm`` — ``w/o CLM`` when False: the teacher embeds raw
+      values with a linear layer instead of the frozen language model.
+    * ``use_sca`` — ``w/o SCA`` when False: plain subtraction
+      ``L_GT - L_HD`` replaces subtractive cross attention.
+    * ``use_correlation_distillation`` — ``w/o CD`` when False.
+    * ``use_feature_distillation`` — ``w/o FD`` when False.
+    """
+
+    # problem shape
+    history_length: int = 96
+    horizon: int = 24
+    num_variables: int = 7
+    frequency_minutes: int = 15
+
+    # model shape
+    d_model: int = 64
+    num_heads: int = 4
+    num_layers: int = 2
+    ffn_dim: int = 128
+    dropout: float = 0.0
+
+    # language model
+    llm_name: str = "gpt2-tiny"
+    llm_pretrain_steps: int = 120
+    calibration_delta: float = 1.0
+    prompt_value_stride: int = 4
+
+    # loss weights (paper Eq. 26 and Eq. 30)
+    lambda_recon: float = 1.0
+    lambda_pkd: float = 1.0
+    lambda_fcst: float = 1.0
+    lambda_correlation: float = 0.2
+    lambda_feature: float = 0.1
+
+    # Share the linear projection head between the teacher's
+    # reconstruction and the student's forecast (the "Shared" element of
+    # paper Figure 3).  With a shared head, feature distillation becomes
+    # directly actionable: student features that imitate E_GT are decoded
+    # by the very head that reconstructs the (denoised) ground truth.
+    share_projection_head: bool = True
+
+    # component switches (Figure 6 ablations)
+    use_privileged_info: bool = True
+    use_clm: bool = True
+    use_sca: bool = True
+    use_correlation_distillation: bool = True
+    use_feature_distillation: bool = True
+
+    # optimization.  ``training_mode`` selects between the paper's joint
+    # objective (Eq. 30: reconstruction + PKD + forecasting in one loop)
+    # and the sequential Algorithms 1+2 ("two-phase").
+    training_mode: str = "joint"
+    teacher_epochs: int = 3
+    student_epochs: int = 5
+    batch_size: int = 16
+    learning_rate: float = 1e-3
+    weight_decay: float = 1e-4
+    grad_clip: float = 1.0
+    max_batches_per_epoch: int | None = None
+    seed: int = 0
+
+    def with_updates(self, **changes) -> "TimeKDConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def ablation(self, name: str) -> "TimeKDConfig":
+        """Config for a named paper-Figure-6 variant.
+
+        ``name`` is one of ``w/o PI``, ``w/o CA``, ``w/o CLM``,
+        ``w/o SCA``, ``w/o CD``, ``w/o FD`` (case-insensitive, with or
+        without the ``w/o `` prefix).
+        """
+        key = name.lower().replace("w/o", "").strip()
+        mapping = {
+            "pi": {"use_privileged_info": False},
+            "ca": {"calibration_delta": 0.0},
+            "clm": {"use_clm": False},
+            "sca": {"use_sca": False},
+            "cd": {"use_correlation_distillation": False},
+            "fd": {"use_feature_distillation": False},
+        }
+        if key not in mapping:
+            raise KeyError(f"unknown ablation {name!r}; one of {list(mapping)}")
+        return self.with_updates(**mapping[key])

@@ -1,0 +1,74 @@
+"""Privileged Knowledge Distillation losses (paper Section IV-D).
+
+Both losses are SmoothL1 between teacher and student internals:
+
+* correlation distillation (Eq. 24) aligns the head-averaged last-layer
+  attention maps of the privileged and time-series Transformers;
+* feature distillation (Eq. 25) aligns the privileged embeddings with
+  the student's encoder output.
+
+Teacher quantities are detached — Algorithm 2 updates only the student.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Tensor
+from ..nn.functional import smooth_l1_loss
+from .config import TimeKDConfig
+
+__all__ = [
+    "correlation_distillation_loss",
+    "feature_distillation_loss",
+    "pkd_loss",
+]
+
+
+def _as_target(value, detach: bool) -> Tensor:
+    if isinstance(value, Tensor):
+        return value.detach() if detach else value
+    return Tensor(np.asarray(value, dtype=np.float32))
+
+
+def correlation_distillation_loss(
+    teacher_attention, student_attention: Tensor,
+    detach_teacher: bool = True,
+) -> Tensor:
+    """``L_cd`` — SmoothL1 between ``A_PE`` and ``A_TSE`` (Eq. 24).
+
+    With ``detach_teacher=False`` (joint training, Eq. 30) the gradient
+    also flows into the teacher, aligning both attention maps.
+    """
+    target = _as_target(teacher_attention, detach_teacher)
+    return smooth_l1_loss(student_attention, target)
+
+
+def feature_distillation_loss(
+    teacher_features, student_features: Tensor,
+    detach_teacher: bool = True,
+) -> Tensor:
+    """``L_fd`` — SmoothL1 between ``E_GT`` and ``T_H`` (Eq. 25)."""
+    target = _as_target(teacher_features, detach_teacher)
+    return smooth_l1_loss(student_features, target)
+
+
+def pkd_loss(
+    config: TimeKDConfig,
+    teacher_attention,
+    teacher_features,
+    student_attention: Tensor,
+    student_features: Tensor,
+    detach_teacher: bool = True,
+) -> Tensor:
+    """``L_PKD = λ_c L_cd + λ_e L_fd`` (Eq. 26), honouring ablations."""
+    total = Tensor(np.zeros((), dtype=np.float32))
+    if config.use_correlation_distillation:
+        total = total + correlation_distillation_loss(
+            teacher_attention, student_attention,
+            detach_teacher=detach_teacher) * config.lambda_correlation
+    if config.use_feature_distillation:
+        total = total + feature_distillation_loss(
+            teacher_features, student_features,
+            detach_teacher=detach_teacher) * config.lambda_feature
+    return total

@@ -1,0 +1,184 @@
+"""Public TimeKD API: fit / predict / evaluate / inspect / save.
+
+:class:`TimeKDForecaster` is the entry point downstream users interact
+with (see ``examples/quickstart.py``)::
+
+    from repro import TimeKDConfig, TimeKDForecaster
+    from repro.data import load_dataset, make_forecasting_data
+
+    data = make_forecasting_data(load_dataset("ETTm1"), horizon=24)
+    model = TimeKDForecaster(TimeKDConfig(horizon=24))
+    model.fit(data)
+    forecast = model.predict(history_window)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.windows import ForecastingData, WindowDataset
+from ..llm import CalibratedLanguageModel
+from ..nn import load_module, no_grad, save_module
+from .config import TimeKDConfig
+from .trainer import TimeKDTrainer
+
+__all__ = ["TimeKDForecaster"]
+
+
+class TimeKDForecaster:
+    """High-level TimeKD forecaster.
+
+    Only the student runs at inference time; the teacher and the frozen
+    CLM exist during :meth:`fit` and can be dropped afterwards
+    (:meth:`compact`), mirroring the paper's deployment story.
+    """
+
+    def __init__(self, config: TimeKDConfig | None = None,
+                 clm: CalibratedLanguageModel | None = None):
+        self.config = config or TimeKDConfig()
+        self._injected_clm = clm
+        self.trainer: TimeKDTrainer | None = None
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def fit(self, data: ForecastingData) -> "TimeKDForecaster":
+        """Train teacher and student on prepared forecasting data."""
+        self.trainer = TimeKDTrainer(self.config, data, clm=self._injected_clm)
+        self.config = self.trainer.config  # may absorb data shape updates
+        self.trainer.fit()
+        return self
+
+    @property
+    def student(self):
+        self._check_fitted()
+        return self.trainer.student
+
+    @property
+    def teacher(self):
+        self._check_fitted()
+        return self.trainer.teacher
+
+    @property
+    def history(self) -> dict[str, list[float]]:
+        self._check_fitted()
+        return self.trainer.history
+
+    # ------------------------------------------------------------------
+    # inference
+    # ------------------------------------------------------------------
+    def predict(self, history: np.ndarray) -> np.ndarray:
+        """Forecast ``(B, M, N)`` (or ``(M, N)``) from history windows."""
+        self._check_fitted()
+        history = np.asarray(history, dtype=np.float32)
+        squeeze = history.ndim == 2
+        prediction = self.student.predict(history)
+        return prediction[0] if squeeze else prediction
+
+    def evaluate(self, dataset: WindowDataset) -> dict:
+        """Student MSE/MAE over a window dataset (test protocol)."""
+        self._check_fitted()
+        return self.trainer.evaluate(dataset)
+
+    def evaluate_splits(self) -> dict[str, dict]:
+        """Metrics on the fitted data's val and test splits."""
+        self._check_fitted()
+        return {
+            "val": self.trainer.evaluate(self.trainer.data.val),
+            "test": self.trainer.evaluate(self.trainer.data.test),
+        }
+
+    # ------------------------------------------------------------------
+    # interpretability (Figures 8 and 9)
+    # ------------------------------------------------------------------
+    def attention_maps(self, history: np.ndarray,
+                       future: np.ndarray) -> dict[str, np.ndarray]:
+        """Head-averaged attention of both Transformers (Figure 8).
+
+        Returns ``{"privileged": A_PE, "student": A_TSE}`` as
+        ``(N, N)`` arrays averaged over the batch.
+        """
+        self._check_fitted()
+        teacher_out, student_out = self._run_both(history, future)
+        return {
+            "privileged": teacher_out.attention.data.mean(axis=0),
+            "student": student_out.attention.data.mean(axis=0),
+        }
+
+    def feature_maps(self, history: np.ndarray,
+                     future: np.ndarray) -> dict[str, np.ndarray]:
+        """Self-relation feature matrices ``F F^T`` (Figure 9)."""
+        self._check_fitted()
+        teacher_out, student_out = self._run_both(history, future)
+        teacher_features = teacher_out.embeddings.data.mean(axis=0)
+        student_features = student_out.features.data.mean(axis=0)
+        return {
+            "privileged": teacher_features @ teacher_features.T,
+            "student": student_features @ student_features.T,
+        }
+
+    def _run_both(self, history: np.ndarray, future: np.ndarray):
+        trainer = self.trainer
+        history = np.asarray(history, dtype=np.float32)
+        if history.ndim == 2:
+            history = history[None]
+        future = np.asarray(future, dtype=np.float32)
+        if future.ndim == 2:
+            future = future[None]
+        with no_grad():
+            if self.config.use_clm:
+                dataset = _SingleWindowDataset(history, future)
+                gt, hd = trainer._compute_clm_embeddings(
+                    dataset, list(range(len(history))),
+                    self.config.use_privileged_info)
+            else:
+                gt, hd = trainer.teacher.embed_values(history, future)
+                if not self.config.use_privileged_info:
+                    gt = None
+            teacher_out = trainer.teacher(gt, hd)
+            student_out = trainer.student(history)
+        return teacher_out, student_out
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        """Persist the deployable student weights."""
+        self._check_fitted()
+        save_module(self.student, path)
+
+    def load(self, path: str, data: ForecastingData) -> "TimeKDForecaster":
+        """Restore a saved student for inference over ``data``'s shapes.
+
+        A trainer shell is built (without running fit) so evaluation
+        utilities keep working.
+        """
+        self.trainer = TimeKDTrainer(self.config, data, clm=self._injected_clm)
+        self.config = self.trainer.config
+        load_module(self.trainer.student, path)
+        return self
+
+    def compact(self) -> None:
+        """Drop teacher/CLM references — keep only the student."""
+        self._check_fitted()
+        self.trainer.teacher = None
+        self.trainer.clm = None
+        self.trainer.store.clear()
+
+    def _check_fitted(self) -> None:
+        if self.trainer is None:
+            raise RuntimeError("forecaster used before fit() / load()")
+
+
+class _SingleWindowDataset:
+    """Adapter exposing (history, future) pairs like a WindowDataset."""
+
+    def __init__(self, history: np.ndarray, future: np.ndarray):
+        self._history = history
+        self._future = future
+
+    def __len__(self) -> int:
+        return len(self._history)
+
+    def __getitem__(self, index: int):
+        return self._history[index], self._future[index]

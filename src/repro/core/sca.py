@@ -1,0 +1,66 @@
+"""Subtractive Cross Attention (paper Section IV-B2, Eq. 8-9).
+
+SCA removes the *textual* information doped into the ground-truth
+last-token embeddings: it measures, channel-by-channel, what the
+ground-truth embedding shares with the historical embedding (whose text
+content is identical), aggregates that shared component, and subtracts
+it before a LayerNorm + FFN refinement.
+"""
+
+from __future__ import annotations
+
+from ..nn import LayerNorm, Linear, Module, Tensor
+from ..nn.transformer import FeedForward
+
+__all__ = ["SubtractiveCrossAttention", "PlainSubtraction"]
+
+
+class SubtractiveCrossAttention(Module):
+    """Channel-wise cross attention followed by subtraction.
+
+    Given ground-truth embeddings ``L_GT`` and historical embeddings
+    ``L_HD`` (both ``(B, N, D)``):
+
+    1. ``M_C = softmax(LN(phi_q(L_GT))^T  @  LN(phi_k(L_HD)))`` — a
+       ``(B, D, D)`` channel similarity matrix (Eq. 8);
+    2. the shared component ``theta_c(phi_v(L_HD) @ M_C)`` is subtracted
+       from ``L_GT`` and refined: ``FFN(LN(L_GT - ...))`` (Eq. 9).
+    """
+
+    def __init__(self, dim: int, ffn_dim: int | None = None):
+        super().__init__()
+        self.dim = dim
+        self.query = Linear(dim, dim)
+        self.key = Linear(dim, dim)
+        self.value = Linear(dim, dim)
+        self.norm_q = LayerNorm(dim)
+        self.norm_k = LayerNorm(dim)
+        self.combine = Linear(dim, dim)  # theta_c in Eq. 9
+        self.norm_out = LayerNorm(dim)
+        self.ffn = FeedForward(dim, ffn_dim or 2 * dim, activation="relu")
+        self.last_similarity = None  # (B, D, D), for analysis
+
+    def forward(self, gt_embedding: Tensor, hd_embedding: Tensor) -> Tensor:
+        """Refine ``(B, N, D)`` ground-truth embeddings (Eq. 8-9)."""
+        q = self.norm_q(self.query(gt_embedding))
+        k = self.norm_k(self.key(hd_embedding))
+        v = self.value(hd_embedding)
+
+        similarity = q.swapaxes(-1, -2).matmul(k)  # (B, D, D)
+        similarity = similarity.softmax(axis=-1)
+        self.last_similarity = similarity.data
+
+        shared = self.combine(v.matmul(similarity))  # (B, N, D)
+        refined = self.norm_out(gt_embedding - shared)
+        return self.ffn(refined) + refined
+
+
+class PlainSubtraction(Module):
+    """The ``w/o SCA`` ablation: direct embedding subtraction."""
+
+    def __init__(self, dim: int):
+        super().__init__()
+        self.norm = LayerNorm(dim)
+
+    def forward(self, gt_embedding: Tensor, hd_embedding: Tensor) -> Tensor:
+        return self.norm(gt_embedding - hd_embedding)

@@ -1,0 +1,71 @@
+"""Embedding storage (paper Figure 3, "Embeddings Storage").
+
+The CLM is frozen, so its last-token embeddings per training window are
+constants.  Computing them once and replaying across epochs is what makes
+the LLM-based teacher affordable — the paper calls this out explicitly
+("to avoid repetitive processing with the frozen CLMs, we store the
+subtracted embeddings").
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["EmbeddingStore"]
+
+
+class EmbeddingStore:
+    """Cache of per-window CLM embeddings keyed by window index."""
+
+    def __init__(self):
+        self._gt: dict[int, np.ndarray] = {}
+        self._hd: dict[int, np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return len(self._hd)
+
+    def has(self, index: int) -> bool:
+        return index in self._hd
+
+    def put(self, index: int, gt: np.ndarray | None, hd: np.ndarray) -> None:
+        if gt is not None:
+            self._gt[index] = np.asarray(gt, dtype=np.float32)
+        self._hd[index] = np.asarray(hd, dtype=np.float32)
+
+    def get(self, index: int) -> tuple[np.ndarray | None, np.ndarray]:
+        return self._gt.get(index), self._hd[index]
+
+    def get_batch(
+        self,
+        indices: np.ndarray,
+        compute: Callable[[list[int]], tuple[np.ndarray | None, np.ndarray]],
+    ) -> tuple[np.ndarray | None, np.ndarray]:
+        """Fetch embeddings for ``indices``, computing the missing ones.
+
+        ``compute(missing)`` must return batched ``(gt, hd)`` arrays of
+        shape ``(len(missing), N, D)`` (``gt`` may be None).
+        """
+        indices = [int(i) for i in indices]
+        missing = [i for i in indices if not self.has(i)]
+        if missing:
+            gt_new, hd_new = compute(missing)
+            for row, index in enumerate(missing):
+                self.put(index,
+                         None if gt_new is None else gt_new[row],
+                         hd_new[row])
+        gts, hds = [], []
+        any_gt = True
+        for index in indices:
+            gt, hd = self.get(index)
+            if gt is None:
+                any_gt = False
+            gts.append(gt)
+            hds.append(hd)
+        gt_batch = np.stack(gts) if any_gt else None
+        return gt_batch, np.stack(hds)
+
+    def clear(self) -> None:
+        self._gt.clear()
+        self._hd.clear()

@@ -1,0 +1,83 @@
+"""The lightweight student model (paper Section IV-C).
+
+Pipeline: RevIN → inverted (variate-wise) embedding → Pre-LN time-series
+Transformer ``TSTEncoder`` → projection head.  At test time this is the
+*only* model that runs (paper Section IV-E), which is where TimeKD's
+inference efficiency comes from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Linear, Module, Tensor, TransformerEncoder
+from .config import TimeKDConfig
+from .revin import RevIN
+
+__all__ = ["StudentModel", "StudentOutput"]
+
+
+class StudentOutput:
+    """Forecast plus the internals distillation needs.
+
+    Attributes
+    ----------
+    prediction:
+        De-normalized forecasts ``(B, M, N)``.
+    features:
+        ``T_H`` — encoder output tokens ``(B, N, D)`` (Eq. 25 target).
+    attention:
+        ``A_TSE`` — head-averaged last-layer attention ``(B, N, N)``
+        (Eq. 24 target).
+    """
+
+    __slots__ = ("prediction", "features", "attention")
+
+    def __init__(self, prediction: Tensor, features: Tensor, attention: Tensor):
+        self.prediction = prediction
+        self.features = features
+        self.attention = attention
+
+
+class StudentModel(Module):
+    """RevIN + inverted embedding + TSTEncoder + projection.
+
+    The inverted embedding (Eq. 18, following iTransformer) treats each
+    *variable's whole history* as one token, so attention runs across
+    variables and the attention map is directly comparable with the
+    teacher's privileged Transformer for correlation distillation.
+    """
+
+    def __init__(self, config: TimeKDConfig):
+        super().__init__()
+        self.config = config
+        self.revin = RevIN(config.num_variables)
+        self.inverted_embedding = Linear(config.history_length, config.d_model)
+        self.encoder = TransformerEncoder(
+            dim=config.d_model,
+            num_heads=config.num_heads,
+            num_layers=config.num_layers,
+            ffn_dim=config.ffn_dim,
+            dropout=config.dropout,
+        )
+        self.head = Linear(config.d_model, config.horizon)
+
+    def forward(self, history: np.ndarray | Tensor) -> StudentOutput:
+        """Forecast ``(B, M, N)`` from a history window ``(B, H, N)``."""
+        x = history if isinstance(history, Tensor) else Tensor(history)
+        if x.ndim == 2:
+            x = x.reshape(1, *x.shape)
+        normalized = self.revin.normalize(x)
+        tokens = self.inverted_embedding(normalized.swapaxes(1, 2))  # (B, N, D)
+        encoded, attention = self.encoder(tokens, return_attention=True)
+        projected = self.head(encoded)  # (B, N, M)
+        prediction = self.revin.denormalize(projected.swapaxes(1, 2))
+        return StudentOutput(prediction, encoded, attention)
+
+    def predict(self, history: np.ndarray) -> np.ndarray:
+        """Numpy-in / numpy-out convenience used at inference time."""
+        from ..nn import no_grad
+
+        with no_grad():
+            output = self.forward(history)
+        return output.prediction.data

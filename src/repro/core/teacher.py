@@ -1,0 +1,152 @@
+"""Cross-modality teacher model (paper Section IV-B, Algorithm 1).
+
+The teacher consumes *privileged* ground-truth prompts plus historical
+prompts, both encoded by a frozen Calibrated Language Model, purifies the
+ground-truth embedding with Subtractive Cross Attention, and reconstructs
+the ground-truth window with a lightweight privileged Transformer.  Its
+attention maps and output embeddings are what the student distills from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..llm import CalibratedLanguageModel, TokenizedPrompt
+from ..nn import Linear, Module, Tensor, TransformerEncoder
+from .config import TimeKDConfig
+from .sca import PlainSubtraction, SubtractiveCrossAttention
+
+__all__ = ["CrossModalityTeacher", "TeacherOutput"]
+
+
+class TeacherOutput:
+    """Everything Algorithm 1 returns.
+
+    Attributes
+    ----------
+    reconstruction:
+        ``X̂_G`` — reconstructed ground truth ``(B, M, N)``.
+    embeddings:
+        ``E_GT`` — privileged embeddings ``(B, N, D)`` (Eq. 25 source).
+    attention:
+        ``A_PE`` — privileged Transformer attention ``(B, N, N)``
+        (Eq. 24 source).
+    """
+
+    __slots__ = ("reconstruction", "embeddings", "attention")
+
+    def __init__(self, reconstruction: Tensor, embeddings: Tensor,
+                 attention: Tensor):
+        self.reconstruction = reconstruction
+        self.embeddings = embeddings
+        self.attention = attention
+
+
+class CrossModalityTeacher(Module):
+    """CLM embeddings → SCA → privileged Transformer → reconstruction.
+
+    Parameters
+    ----------
+    config:
+        Shared TimeKD configuration (ablation switches honoured here:
+        ``use_privileged_info``, ``use_clm``, ``use_sca``).
+    clm:
+        Frozen calibrated language model; required when
+        ``config.use_clm`` is True.
+    """
+
+    def __init__(self, config: TimeKDConfig,
+                 clm: CalibratedLanguageModel | None = None):
+        super().__init__()
+        self.config = config
+        self.clm = clm
+        if config.use_clm:
+            if clm is None:
+                raise ValueError("use_clm=True requires a CalibratedLanguageModel")
+            llm_dim = clm.dim
+            self.gt_projection = Linear(llm_dim, config.d_model)
+            self.hd_projection = Linear(llm_dim, config.d_model)
+        else:
+            # `w/o CLM` ablation: embed raw values per variable instead.
+            self.gt_projection = Linear(
+                config.history_length + config.horizon, config.d_model)
+            self.hd_projection = Linear(config.history_length, config.d_model)
+
+        if config.use_sca:
+            self.sca = SubtractiveCrossAttention(config.d_model, config.ffn_dim)
+        else:
+            self.sca = PlainSubtraction(config.d_model)
+
+        self.encoder = TransformerEncoder(
+            dim=config.d_model,
+            num_heads=config.num_heads,
+            num_layers=config.num_layers,
+            ffn_dim=config.ffn_dim,
+            dropout=config.dropout,
+        )
+        self.recon_head = Linear(config.d_model, config.horizon)
+
+    # ------------------------------------------------------------------
+    # prompt encoding (frozen CLM; results are cacheable)
+    # ------------------------------------------------------------------
+    def encode_prompts(
+        self,
+        gt_prompt: TokenizedPrompt | None,
+        hd_prompt: TokenizedPrompt,
+        num_variables: int,
+    ) -> tuple[np.ndarray | None, np.ndarray]:
+        """Run the frozen CLM over batched prompts.
+
+        Prompts arrive flattened as ``(B*N, S)``; returns raw last-token
+        embeddings ``(B, N, D_llm)`` as plain arrays (constants — the
+        CLM is frozen, so these can be stored and reused across epochs,
+        the paper's "embeddings storage").
+        """
+        if not self.config.use_clm:
+            raise RuntimeError("encode_prompts is only used when use_clm=True")
+        hd = self.clm(hd_prompt).data
+        hd = hd.reshape(-1, num_variables, hd.shape[-1])
+        if gt_prompt is None:
+            return None, hd
+        gt = self.clm(gt_prompt).data
+        gt = gt.reshape(-1, num_variables, gt.shape[-1])
+        return gt, hd
+
+    def embed_values(self, history: np.ndarray,
+                     future: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """`w/o CLM` path: raw per-variable value vectors as "embeddings".
+
+        Returns arrays shaped ``(B, N, H+M)`` and ``(B, N, H)`` that the
+        value projections consume in :meth:`forward`.
+        """
+        history = np.asarray(history, dtype=np.float32)
+        future = np.asarray(future, dtype=np.float32)
+        gt = np.concatenate([history, future], axis=1).swapaxes(1, 2)
+        hd = history.swapaxes(1, 2)
+        return gt, hd
+
+    # ------------------------------------------------------------------
+    # forward (Algorithm 1, lines 2-5)
+    # ------------------------------------------------------------------
+    def forward(self, gt_embedding: np.ndarray | None,
+                hd_embedding: np.ndarray) -> TeacherOutput:
+        """Reconstruct the ground truth from (projected) prompt embeddings.
+
+        Parameters
+        ----------
+        gt_embedding / hd_embedding:
+            Raw CLM last-token embeddings ``(B, N, D_llm)`` (or raw value
+            vectors for the ``w/o CLM`` ablation).  ``gt_embedding`` is
+            None under the ``w/o PI`` ablation, in which case the teacher
+            degenerates to the "traditional teacher" of paper Figure 1.
+        """
+        hd = self.hd_projection(Tensor(np.asarray(hd_embedding, np.float32)))
+        if gt_embedding is None or not self.config.use_privileged_info:
+            refined = hd
+        else:
+            gt = self.gt_projection(Tensor(np.asarray(gt_embedding, np.float32)))
+            refined = self.sca(gt, hd)
+
+        encoded, attention = self.encoder(refined, return_attention=True)
+        reconstruction = self.recon_head(encoded).swapaxes(1, 2)  # (B, M, N)
+        return TeacherOutput(reconstruction, encoded, attention)

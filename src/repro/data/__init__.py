@@ -1,0 +1,39 @@
+"""``repro.data`` — datasets, windowing and prompt construction.
+
+Seeded synthetic stand-ins for ETT/Weather/Exchange/PEMS, the standard
+chronological split + sliding-window protocol, dataset-level scaling, and
+the Figure-2 prompt factory.
+"""
+
+from .datasets import DATASETS, DatasetSpec, dataset_names, load_dataset
+from .loader import DataLoader
+from .prompts import PromptFactory
+from .scaler import StandardScaler
+from .series import MultivariateTimeSeries
+from .synthetic import (
+    ETT_COLUMNS,
+    generate_ett,
+    generate_exchange,
+    generate_pems,
+    generate_weather,
+)
+from .windows import ForecastingData, WindowDataset, make_forecasting_data
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "dataset_names",
+    "load_dataset",
+    "DataLoader",
+    "PromptFactory",
+    "StandardScaler",
+    "MultivariateTimeSeries",
+    "ETT_COLUMNS",
+    "generate_ett",
+    "generate_exchange",
+    "generate_pems",
+    "generate_weather",
+    "ForecastingData",
+    "WindowDataset",
+    "make_forecasting_data",
+]

@@ -1,0 +1,55 @@
+"""Mini-batch iteration over window datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .windows import WindowDataset
+
+__all__ = ["DataLoader"]
+
+
+class DataLoader:
+    """Iterate ``(history, future)`` batches from a :class:`WindowDataset`.
+
+    Parameters
+    ----------
+    dataset:
+        Source windows.
+    batch_size:
+        Windows per batch; the final partial batch is kept.
+    shuffle:
+        Reshuffle indices each epoch (training).
+    seed:
+        RNG seed for shuffling.
+    max_batches:
+        Optional cap on batches per epoch — the knob the scaled-down
+        benchmarks use to bound epoch cost.
+    """
+
+    def __init__(self, dataset: WindowDataset, batch_size: int = 16,
+                 shuffle: bool = False, seed: int = 0,
+                 max_batches: int | None = None):
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.max_batches = max_batches
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        full = (len(self.dataset) + self.batch_size - 1) // self.batch_size
+        if self.max_batches is not None:
+            return min(full, self.max_batches)
+        return full
+
+    def __iter__(self):
+        indices = np.arange(len(self.dataset))
+        if self.shuffle:
+            self._rng.shuffle(indices)
+        count = 0
+        for start in range(0, len(indices), self.batch_size):
+            if self.max_batches is not None and count >= self.max_batches:
+                return
+            batch = indices[start:start + self.batch_size]
+            yield self.dataset.batch(batch)
+            count += 1

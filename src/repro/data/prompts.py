@@ -1,0 +1,53 @@
+"""Bridging windows to prompts (paper Definition 2).
+
+The :class:`PromptFactory` renders per-variable historical (``P_HD``) and
+ground-truth (``P_GT``) prompts for a window pair, matching the templates
+of paper Figure 2 and tagging token modalities for calibrated attention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..llm.tokenizer import PromptTokenizer, TokenizedPrompt
+from ..llm.vocab import Vocabulary
+
+__all__ = ["PromptFactory"]
+
+
+@dataclass
+class PromptFactory:
+    """Produce batched prompts for ``(H, N)`` / ``(M, N)`` windows.
+
+    Parameters
+    ----------
+    vocab:
+        Token vocabulary shared with the CLM backbone.
+    frequency_minutes:
+        Sampling interval announced in the template.
+    value_stride:
+        Downsampling stride for prompt values (CPU-budget knob; 1
+        reproduces the paper exactly).
+    """
+
+    vocab: Vocabulary
+    frequency_minutes: int = 15
+    value_stride: int = 4
+
+    def __post_init__(self):
+        self._tokenizer = PromptTokenizer(
+            vocab=self.vocab,
+            frequency_minutes=self.frequency_minutes,
+            value_stride=self.value_stride,
+        )
+
+    def historical(self, history: np.ndarray, horizon: int) -> TokenizedPrompt:
+        """``P_HD`` for every variable of one window, shape ``(N, S)``."""
+        return self._tokenizer.batch_historical(history, horizon)
+
+    def ground_truth(self, history: np.ndarray,
+                     future: np.ndarray) -> TokenizedPrompt:
+        """``P_GT`` (privileged) for every variable, shape ``(N, S')``."""
+        return self._tokenizer.batch_ground_truth(history, future)

@@ -1,0 +1,42 @@
+"""Dataset-level standardization."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StandardScaler"]
+
+
+class StandardScaler:
+    """Per-variable z-normalization fitted on the training split.
+
+    Matches the standard MTSF protocol: statistics come from the train
+    segment only and are applied to validation/test to avoid leakage.
+    """
+
+    def __init__(self, eps: float = 1e-8):
+        self.eps = eps
+        self.mean: np.ndarray | None = None
+        self.std: np.ndarray | None = None
+
+    def fit(self, values: np.ndarray) -> "StandardScaler":
+        values = np.asarray(values, dtype=np.float64)
+        self.mean = values.mean(axis=0)
+        self.std = values.std(axis=0)
+        self.std = np.where(self.std < self.eps, 1.0, self.std)
+        return self
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return (np.asarray(values, dtype=np.float64) - self.mean) / self.std
+
+    def fit_transform(self, values: np.ndarray) -> np.ndarray:
+        return self.fit(values).transform(values)
+
+    def inverse_transform(self, values: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return np.asarray(values, dtype=np.float64) * self.std + self.mean
+
+    def _check_fitted(self) -> None:
+        if self.mean is None or self.std is None:
+            raise RuntimeError("scaler used before fit()")

@@ -1,0 +1,67 @@
+"""Container type for multivariate time series (paper Definition 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["MultivariateTimeSeries"]
+
+
+@dataclass
+class MultivariateTimeSeries:
+    """A time-ordered matrix of observations ``(T, N)``.
+
+    Attributes
+    ----------
+    values:
+        Observation matrix; rows are time steps, columns are variables.
+    columns:
+        Variable names (e.g. ``HUFL`` ... ``OT`` for ETT).
+    frequency_minutes:
+        Sampling interval, used when rendering prompts.
+    name:
+        Dataset identifier.
+    """
+
+    values: np.ndarray
+    columns: list[str] = field(default_factory=list)
+    frequency_minutes: int = 60
+    name: str = ""
+
+    def __post_init__(self):
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if self.values.ndim != 2:
+            raise ValueError(f"values must be 2-D (T, N), got {self.values.shape}")
+        if not self.columns:
+            self.columns = [f"var{i}" for i in range(self.values.shape[1])]
+        if len(self.columns) != self.values.shape[1]:
+            raise ValueError("columns length must match the variable axis")
+
+    @property
+    def length(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def num_variables(self) -> int:
+        return self.values.shape[1]
+
+    def __len__(self) -> int:
+        return self.length
+
+    def slice(self, start: int, stop: int) -> "MultivariateTimeSeries":
+        """Contiguous sub-series ``[start:stop)`` sharing metadata."""
+        return MultivariateTimeSeries(
+            self.values[start:stop].copy(),
+            columns=list(self.columns),
+            frequency_minutes=self.frequency_minutes,
+            name=self.name,
+        )
+
+    def head_fraction(self, fraction: float) -> "MultivariateTimeSeries":
+        """First ``fraction`` of the series (few-shot / scalability runs)."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        stop = max(1, int(self.length * fraction))
+        return self.slice(0, stop)

@@ -1,0 +1,31 @@
+"""``repro.eval`` — metrics, shared training protocol, efficiency probes
+and result formatting for the experiment suite."""
+
+from .efficiency import EfficiencyReport, measure_efficiency
+from .metrics import forecast_metrics, mae, mape, mse, rmse, smape
+from .protocol import (
+    TrainReport,
+    TrainSettings,
+    evaluate_forecast_model,
+    train_forecast_model,
+)
+from .results import best_by, format_table, relative_improvement, save_csv
+
+__all__ = [
+    "EfficiencyReport",
+    "measure_efficiency",
+    "forecast_metrics",
+    "mse",
+    "mae",
+    "rmse",
+    "mape",
+    "smape",
+    "TrainSettings",
+    "TrainReport",
+    "train_forecast_model",
+    "evaluate_forecast_model",
+    "format_table",
+    "save_csv",
+    "best_by",
+    "relative_improvement",
+]

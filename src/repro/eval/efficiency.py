@@ -1,0 +1,84 @@
+"""Resource-efficiency measurement (paper Table IV).
+
+Reports the paper's four metrics for any model exposing the common
+interface: trainable parameters (millions), training time per epoch
+(seconds), peak memory of a training step (MiB, via tracemalloc — numpy
+allocations are tracked), and inference speed (seconds per iteration at
+batch size 1, averaged).
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["EfficiencyReport", "measure_efficiency"]
+
+
+@dataclass
+class EfficiencyReport:
+    """Table-IV row for one model."""
+
+    name: str
+    trainable_params_m: float
+    train_seconds_per_epoch: float
+    peak_memory_mib: float
+    inference_seconds_per_iter: float
+
+    def as_row(self) -> dict[str, float | str]:
+        return {
+            "model": self.name,
+            "trainable_params_M": round(self.trainable_params_m, 4),
+            "train_s_per_epoch": round(self.train_seconds_per_epoch, 3),
+            "memory_MiB": round(self.peak_memory_mib, 2),
+            "inference_s_per_iter": round(self.inference_seconds_per_iter, 5),
+        }
+
+
+def measure_efficiency(
+    name: str,
+    trainable_params: int,
+    train_epoch: Callable[[], None],
+    infer_once: Callable[[], None],
+    inference_repeats: int = 5,
+) -> EfficiencyReport:
+    """Measure the four Table-IV metrics.
+
+    Parameters
+    ----------
+    name:
+        Row label.
+    trainable_params:
+        Scalar count of trainable parameters.
+    train_epoch:
+        Zero-argument callable running one training epoch; it is wrapped
+        with tracemalloc to capture the training-step memory peak.
+    infer_once:
+        Zero-argument callable running one batch-size-1 forward pass.
+    inference_repeats:
+        Averaging repeats for the inference timing.
+    """
+    tracemalloc.start()
+    start = time.perf_counter()
+    train_epoch()
+    train_seconds = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    infer_once()  # warm-up
+    start = time.perf_counter()
+    for _ in range(inference_repeats):
+        infer_once()
+    inference_seconds = (time.perf_counter() - start) / inference_repeats
+
+    return EfficiencyReport(
+        name=name,
+        trainable_params_m=trainable_params / 1e6,
+        train_seconds_per_epoch=train_seconds,
+        peak_memory_mib=peak / (1024 * 1024),
+        inference_seconds_per_iter=inference_seconds,
+    )

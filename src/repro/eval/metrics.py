@@ -1,0 +1,58 @@
+"""Forecast accuracy metrics (paper Eq. 31-32 and common extras)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mse", "mae", "rmse", "mape", "smape", "forecast_metrics"]
+
+
+def _pair(prediction, target) -> tuple[np.ndarray, np.ndarray]:
+    prediction = np.asarray(prediction, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if prediction.shape != target.shape:
+        raise ValueError(
+            f"shape mismatch: {prediction.shape} vs {target.shape}")
+    return prediction, target
+
+
+def mse(prediction, target) -> float:
+    """Mean squared error (paper Eq. 31)."""
+    prediction, target = _pair(prediction, target)
+    return float(((prediction - target) ** 2).mean())
+
+
+def mae(prediction, target) -> float:
+    """Mean absolute error (paper Eq. 32)."""
+    prediction, target = _pair(prediction, target)
+    return float(np.abs(prediction - target).mean())
+
+
+def rmse(prediction, target) -> float:
+    """Root mean squared error."""
+    return float(np.sqrt(mse(prediction, target)))
+
+
+def mape(prediction, target, eps: float = 1e-8) -> float:
+    """Mean absolute percentage error (guarding zero targets)."""
+    prediction, target = _pair(prediction, target)
+    denominator = np.maximum(np.abs(target), eps)
+    return float((np.abs(prediction - target) / denominator).mean())
+
+
+def smape(prediction, target, eps: float = 1e-8) -> float:
+    """Symmetric MAPE in [0, 2]."""
+    prediction, target = _pair(prediction, target)
+    denominator = np.maximum(
+        (np.abs(prediction) + np.abs(target)) / 2.0, eps)
+    return float((np.abs(prediction - target) / denominator).mean())
+
+
+def forecast_metrics(prediction, target) -> dict[str, float]:
+    """The paper's metric pair plus extras, as a dict."""
+    return {
+        "mse": mse(prediction, target),
+        "mae": mae(prediction, target),
+        "rmse": rmse(prediction, target),
+        "smape": smape(prediction, target),
+    }

@@ -1,0 +1,79 @@
+"""Result collection and paper-style table formatting."""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Iterable, Mapping
+
+__all__ = ["format_table", "save_csv", "best_by", "relative_improvement"]
+
+
+def format_table(rows: Iterable[Mapping], title: str = "") -> str:
+    """Render dict rows as an aligned text table (paper-style)."""
+    rows = [dict(r) for r in rows]
+    if not rows:
+        return f"{title}\n(empty)"
+    columns = list(rows[0].keys())
+    for row in rows[1:]:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+
+    def cell(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.4f}"
+        return str(value)
+
+    widths = {c: len(c) for c in columns}
+    rendered = []
+    for row in rows:
+        line = {c: cell(row.get(c, "")) for c in columns}
+        rendered.append(line)
+        for c in columns:
+            widths[c] = max(widths[c], len(line[c]))
+
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    separator = "  ".join("-" * widths[c] for c in columns)
+    body = [
+        "  ".join(line[c].ljust(widths[c]) for c in columns)
+        for line in rendered
+    ]
+    parts = ([title, ""] if title else []) + [header, separator] + body
+    return "\n".join(parts)
+
+
+def save_csv(rows: Iterable[Mapping], path: str) -> str:
+    """Persist dict rows to CSV, creating directories as needed."""
+    rows = [dict(r) for r in rows]
+    if not rows:
+        raise ValueError("no rows to save")
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    columns = list(rows[0].keys())
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns,
+                                extrasaction="ignore")
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def best_by(rows: Iterable[Mapping], key: str,
+            group: str | None = None) -> dict:
+    """Row(s) with the minimum ``key``; grouped if ``group`` is given."""
+    rows = [dict(r) for r in rows]
+    if group is None:
+        return min(rows, key=lambda r: r[key])
+    winners: dict = {}
+    for row in rows:
+        bucket = row[group]
+        if bucket not in winners or row[key] < winners[bucket][key]:
+            winners[bucket] = row
+    return winners
+
+
+def relative_improvement(candidate: float, reference: float) -> float:
+    """Positive when ``candidate`` improves (reduces) over ``reference``."""
+    if reference == 0:
+        return 0.0
+    return (reference - candidate) / abs(reference)

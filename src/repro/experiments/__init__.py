@@ -1,0 +1,27 @@
+"""``repro.experiments`` — one module per paper table/figure.
+
+See DESIGN.md section 4 for the experiment index.  Each module exposes
+``run()`` (returns structured rows) and ``main()`` (prints a paper-style
+table and saves a CSV under ``artifacts/results``).
+"""
+
+from . import (  # noqa: F401
+    common,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+
+__all__ = [
+    "common",
+    "table1", "table2", "table3", "table4", "table5", "table6",
+    "figure6", "figure7", "figure8", "figure9", "figure10",
+]

@@ -1,0 +1,224 @@
+"""Shared infrastructure for the per-table/figure experiment modules.
+
+Every experiment runs at one of two scales:
+
+* **quick** (default) — small data slices, tiny models, capped batches;
+  finishes in seconds per cell so the whole suite regenerates every
+  artefact on one CPU core.  This is what the ``benchmarks/`` harness
+  executes.
+* **full** — closer to paper settings (set ``REPRO_FULL=1``); hours on
+  this substrate.
+
+Both scales exercise the identical code paths; only sizes change.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+from ..baselines import BaselineConfig, build_baseline
+from ..core import TimeKDConfig, TimeKDForecaster
+from ..data import load_dataset, make_forecasting_data
+from ..data.windows import ForecastingData
+from ..eval import TrainSettings, evaluate_forecast_model, train_forecast_model
+from ..llm import CalibratedLanguageModel, Vocabulary, get_pretrained
+from ..nn import init as nn_init
+
+__all__ = [
+    "ExperimentScale",
+    "QUICK",
+    "FULL",
+    "get_scale",
+    "prepare_data",
+    "run_timekd",
+    "run_baseline",
+    "run_model",
+    "shared_backbone",
+    "results_dir",
+    "PAPER_MODELS",
+]
+
+#: Column order of the paper's comparison tables.
+PAPER_MODELS = ["TimeKD", "TimeCMA", "Time-LLM", "UniTime", "OFA",
+                "iTransformer", "PatchTST"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Size knobs decoupling experiment structure from runtime cost."""
+
+    data_length: int = 700
+    history_length: int = 96
+    d_model: int = 32
+    num_heads: int = 2
+    num_layers: int = 1
+    ffn_dim: int = 64
+    epochs: int = 10
+    teacher_epochs: int = 5
+    batch_size: int = 16
+    max_batches: int | None = 8
+    llm_pretrain_steps: int = 60
+    prompt_value_stride: int = 8
+    seed: int = 0
+
+    def with_updates(self, **changes) -> "ExperimentScale":
+        return replace(self, **changes)
+
+
+QUICK = ExperimentScale()
+FULL = ExperimentScale(
+    data_length=2400, d_model=64, num_heads=4, num_layers=2, ffn_dim=128,
+    epochs=10, teacher_epochs=5, max_batches=None, llm_pretrain_steps=200,
+    prompt_value_stride=4,
+)
+
+
+def get_scale() -> ExperimentScale:
+    """QUICK unless the environment requests the full protocol."""
+    return FULL if os.environ.get("REPRO_FULL") else QUICK
+
+
+def results_dir() -> str:
+    root = os.environ.get("REPRO_CACHE", os.path.join(os.getcwd(), "artifacts"))
+    path = os.path.join(root, "results")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def prepare_data(
+    dataset: str,
+    horizon: int,
+    scale: ExperimentScale,
+    train_fraction: float = 1.0,
+    length: int | None = None,
+) -> ForecastingData:
+    """Load a named dataset and window it for the experiment."""
+    series = load_dataset(dataset, length=length or scale.data_length)
+    return make_forecasting_data(
+        series,
+        history_length=scale.history_length,
+        horizon=horizon,
+        train_fraction=train_fraction,
+    )
+
+
+_BACKBONE_CACHE: dict[tuple[str, int], object] = {}
+_VOCAB = Vocabulary()
+
+
+def shared_backbone(name: str, steps: int):
+    """Process-wide pretrained-backbone cache (frozen, shareable)."""
+    key = (name, steps)
+    if key not in _BACKBONE_CACHE:
+        _BACKBONE_CACHE[key] = get_pretrained(name, vocab=_VOCAB, steps=steps)
+    return _BACKBONE_CACHE[key]
+
+
+def timekd_config(data: ForecastingData, scale: ExperimentScale,
+                  **overrides) -> TimeKDConfig:
+    """TimeKD configuration matching the experiment scale."""
+    base = TimeKDConfig(
+        history_length=scale.history_length,
+        horizon=data.train.horizon,
+        num_variables=data.num_variables,
+        frequency_minutes=data.frequency_minutes,
+        d_model=scale.d_model,
+        num_heads=scale.num_heads,
+        num_layers=scale.num_layers,
+        ffn_dim=scale.ffn_dim,
+        llm_pretrain_steps=scale.llm_pretrain_steps,
+        prompt_value_stride=scale.prompt_value_stride,
+        teacher_epochs=scale.teacher_epochs,
+        student_epochs=scale.epochs,
+        batch_size=scale.batch_size,
+        max_batches_per_epoch=scale.max_batches,
+        seed=scale.seed,
+    )
+    return base.with_updates(**overrides) if overrides else base
+
+
+def run_timekd(
+    data: ForecastingData, scale: ExperimentScale, **config_overrides
+) -> dict:
+    """Fit TimeKD on ``data``; return the standard result row."""
+    config = timekd_config(data, scale, **config_overrides)
+    nn_init.seed_everything(config.seed)
+    clm = None
+    if config.use_clm:
+        backbone = shared_backbone(config.llm_name, scale.llm_pretrain_steps)
+        clm = CalibratedLanguageModel(backbone, delta=config.calibration_delta)
+    model = TimeKDForecaster(config, clm=clm).fit(data)
+    metrics = model.evaluate(data.test)
+    return {"model": "TimeKD", "mse": metrics["mse"], "mae": metrics["mae"],
+            "_forecaster": model}
+
+
+def run_baseline(
+    name: str, data: ForecastingData, scale: ExperimentScale
+) -> dict:
+    """Train/evaluate one baseline under the shared protocol."""
+    nn_init.seed_everything(scale.seed)
+    config = BaselineConfig(
+        history_length=scale.history_length,
+        horizon=data.train.horizon,
+        num_variables=data.num_variables,
+        d_model=scale.d_model,
+        num_heads=scale.num_heads,
+        num_layers=scale.num_layers,
+        ffn_dim=scale.ffn_dim,
+    )
+    backbone = None
+    canonical = name.lower().replace("-", "").replace("_", "")
+    if canonical in ("timecma", "timellm", "ofa"):
+        backbone = shared_backbone(config.llm_name, scale.llm_pretrain_steps)
+    model = build_baseline(
+        name, config, backbone=backbone, vocab=_VOCAB,
+        frequency_minutes=data.frequency_minutes)
+    settings = TrainSettings(
+        epochs=scale.epochs,
+        batch_size=scale.batch_size,
+        max_batches_per_epoch=scale.max_batches,
+        seed=scale.seed,
+    )
+    train_forecast_model(model, data, settings)
+    metrics = evaluate_forecast_model(model, data.test)
+    return {"model": name, "mse": metrics["mse"], "mae": metrics["mae"],
+            "_model": model}
+
+
+def run_model(name: str, data: ForecastingData,
+              scale: ExperimentScale) -> dict:
+    """Dispatch to TimeKD or a baseline by paper model name."""
+    if name == "TimeKD":
+        return run_timekd(data, scale)
+    return run_baseline(name, data, scale)
+
+
+def strip_private(row: dict) -> dict:
+    """Drop underscore-prefixed bookkeeping keys before display/CSV."""
+    return {k: v for k, v in row.items() if not k.startswith("_")}
+
+
+def run_model_seeds(name: str, data: ForecastingData,
+                    scale: ExperimentScale,
+                    seeds: tuple[int, ...] = (0, 1, 2)) -> dict:
+    """Seed-averaged run, matching the paper's three-seed protocol.
+
+    Returns the mean MSE/MAE over ``seeds`` plus their standard
+    deviations (``mse_std`` / ``mae_std``).
+    """
+    import numpy as np
+
+    mses, maes = [], []
+    for seed in seeds:
+        row = run_model(name, data, scale.with_updates(seed=seed))
+        mses.append(row["mse"])
+        maes.append(row["mae"])
+    return {
+        "model": name,
+        "mse": float(np.mean(mses)),
+        "mae": float(np.mean(maes)),
+        "mse_std": float(np.std(mses)),
+        "mae_std": float(np.std(maes)),
+    }

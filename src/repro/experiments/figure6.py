@@ -1,0 +1,77 @@
+"""Figure 6 — component ablations of TimeKD.
+
+Variants (paper Section V-B3): ``w/o PI`` (no privileged ground-truth
+prompts), ``w/o CA`` (vanilla attention mask), ``w/o CLM`` (no language
+model in the teacher), ``w/o SCA`` (plain subtraction), ``w/o CD`` (no
+correlation distillation), ``w/o FD`` (no feature distillation).
+Every variant should underperform full TimeKD; ``w/o CLM`` worst.
+"""
+
+from __future__ import annotations
+
+from ..eval import format_table, save_csv
+from .common import (
+    ExperimentScale,
+    get_scale,
+    prepare_data,
+    results_dir,
+    run_timekd,
+    strip_private,
+    timekd_config,
+)
+
+__all__ = ["run", "main", "VARIANTS"]
+
+VARIANTS = ["TimeKD", "w/o PI", "w/o CA", "w/o CLM", "w/o SCA",
+            "w/o CD", "w/o FD"]
+FULL_DATASETS = ["ETTm1", "Weather", "ETTh2", "Exchange"]
+QUICK_DATASETS = ["Weather", "ETTm1"]
+HORIZON = 24
+
+
+def run(
+    scale: ExperimentScale | None = None,
+    datasets: list[str] | None = None,
+    variants: list[str] | None = None,
+) -> list[dict]:
+    """Regenerate Figure 6 data: one row per (dataset, variant)."""
+    import os
+
+    scale = scale or get_scale()
+    full = bool(os.environ.get("REPRO_FULL"))
+    datasets = datasets or (FULL_DATASETS if full else QUICK_DATASETS)
+    variants = variants or VARIANTS
+
+    rows: list[dict] = []
+    for dataset in datasets:
+        data = prepare_data(dataset, HORIZON, scale)
+        base_config = timekd_config(data, scale)
+        for variant in variants:
+            if variant == "TimeKD":
+                overrides = {}
+            else:
+                ablated = base_config.ablation(variant)
+                overrides = {
+                    field: getattr(ablated, field)
+                    for field in (
+                        "use_privileged_info", "calibration_delta",
+                        "use_clm", "use_sca",
+                        "use_correlation_distillation",
+                        "use_feature_distillation",
+                    )
+                }
+            result = strip_private(run_timekd(data, scale, **overrides))
+            result.update(model=variant, dataset=dataset, horizon=HORIZON)
+            rows.append(result)
+    return rows
+
+
+def main() -> list[dict]:
+    rows = run()
+    print(format_table(rows, title="Figure 6 — TimeKD component ablations"))
+    save_csv(rows, f"{results_dir()}/figure6.csv")
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Figure 7 — scalability: accuracy vs available training data.
+
+Paper protocol: train TimeKD on 20/40/60/80/100% of the training
+windows (horizon 96) on ETTm1, Weather, ETTh2 and Exchange; MSE and MAE
+should decrease monotonically (modulo noise) as data grows.
+"""
+
+from __future__ import annotations
+
+from ..eval import format_table, save_csv
+from .common import (
+    ExperimentScale,
+    get_scale,
+    prepare_data,
+    results_dir,
+    run_timekd,
+    strip_private,
+)
+
+__all__ = ["run", "main", "FRACTIONS"]
+
+FRACTIONS = [0.2, 0.4, 0.6, 0.8, 1.0]
+FULL_DATASETS = ["ETTm1", "Weather", "ETTh2", "Exchange"]
+QUICK_DATASETS = ["ETTm1"]
+HORIZON = 96
+
+
+def run(
+    scale: ExperimentScale | None = None,
+    datasets: list[str] | None = None,
+    fractions: list[float] | None = None,
+) -> list[dict]:
+    """Regenerate Figure 7 data: one row per (dataset, fraction)."""
+    import os
+
+    scale = scale or get_scale()
+    full = bool(os.environ.get("REPRO_FULL"))
+    datasets = datasets or (FULL_DATASETS if full else QUICK_DATASETS)
+    fractions = fractions or FRACTIONS
+
+    rows: list[dict] = []
+    for dataset in datasets:
+        for fraction in fractions:
+            data = prepare_data(dataset, HORIZON, scale,
+                                train_fraction=fraction,
+                                length=max(scale.data_length, 1600))
+            result = strip_private(run_timekd(data, scale))
+            result.update(dataset=dataset, horizon=HORIZON,
+                          train_fraction=fraction)
+            rows.append(result)
+    return rows
+
+
+def main() -> list[dict]:
+    rows = run()
+    print(format_table(rows, title="Figure 7 — scalability vs data fraction"))
+    save_csv(rows, f"{results_dir()}/figure7.csv")
+    return rows
+
+
+if __name__ == "__main__":
+    main()

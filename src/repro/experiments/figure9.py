@@ -1,0 +1,64 @@
+"""Figure 9 — feature self-relation matrices on ETTm1.
+
+For both Transformers, the encoder output features ``F`` (one token per
+variable) are multiplied with their transpose, ``F F^T``, producing the
+pairwise variable-interaction matrices of the paper: comprehensive and
+balanced for the privileged (teacher) features, sparser and more local
+for the time-series (student) features.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..data import ETT_COLUMNS
+from ..eval import save_csv
+from .common import (
+    ExperimentScale,
+    get_scale,
+    prepare_data,
+    results_dir,
+    run_timekd,
+)
+from .figure8 import render_heatmap
+
+__all__ = ["run", "main"]
+
+DATASET = "ETTm1"
+HORIZON = 96
+
+
+def run(scale: ExperimentScale | None = None) -> dict[str, np.ndarray]:
+    """Fit TimeKD on ETTm1 and compute both ``F F^T`` matrices."""
+    scale = scale or get_scale()
+    data = prepare_data(DATASET, HORIZON, scale,
+                        length=max(scale.data_length, 1600))
+    result = run_timekd(data, scale)
+    forecaster = result["_forecaster"]
+    history, future = data.test[0]
+    return forecaster.feature_maps(history, future)
+
+
+def main() -> dict[str, np.ndarray]:
+    maps = run()
+    labels = ETT_COLUMNS
+    out_dir = results_dir()
+    for key, matrix in maps.items():
+        np.save(os.path.join(out_dir, f"figure9_{key}.npy"), matrix)
+        print(f"\nFigure 9 — {key} feature self-relations (ETTm1):")
+        print(render_heatmap(matrix, labels))
+    rows = []
+    for key, matrix in maps.items():
+        for i, qlabel in enumerate(labels):
+            row = {"map": key, "variable": qlabel}
+            row.update({k: float(matrix[i, j])
+                        for j, k in enumerate(labels)})
+            rows.append(row)
+    save_csv(rows, os.path.join(out_dir, "figure9.csv"))
+    return maps
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Command-line entry point for regenerating paper artefacts.
+
+Usage::
+
+    python -m repro.experiments.runner table1 table4 figure6
+    python -m repro.experiments.runner all
+    REPRO_FULL=1 python -m repro.experiments.runner table1   # full grid
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import (
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+
+__all__ = ["EXPERIMENTS", "main"]
+
+EXPERIMENTS = {
+    "table1": table1.main,
+    "table2": table2.main,
+    "table3": table3.main,
+    "table4": table4.main,
+    "table5": table5.main,
+    "table6": table6.main,
+    "figure6": figure6.main,
+    "figure7": figure7.main,
+    "figure8": figure8.main,
+    "figure9": figure9.main,
+    "figure10": figure10.main,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate TimeKD paper tables and figures")
+    parser.add_argument("experiments", nargs="+",
+                        choices=sorted(EXPERIMENTS) + ["all"],
+                        help="artefact ids to regenerate")
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if "all" in args.experiments \
+        else args.experiments
+    for name in names:
+        start = time.perf_counter()
+        print(f"\n=== {name} ===")
+        EXPERIMENTS[name]()
+        print(f"[{name} done in {time.perf_counter() - start:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""Table I — long-term forecasting comparison.
+
+Paper protocol: input 96, horizons {24, 36, 48, 96, 192}, six datasets
+(ETTm1/m2/h1/h2, Weather, Exchange), seven models, MSE/MAE.  Quick scale
+trims datasets/horizons; ``REPRO_FULL=1`` restores the full grid.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..eval import format_table, save_csv
+from .common import (
+    PAPER_MODELS,
+    ExperimentScale,
+    get_scale,
+    prepare_data,
+    results_dir,
+    run_model,
+    strip_private,
+)
+
+__all__ = ["run", "main", "FULL_DATASETS", "FULL_HORIZONS"]
+
+FULL_DATASETS = ["ETTm1", "ETTm2", "ETTh1", "ETTh2", "Weather", "Exchange"]
+FULL_HORIZONS = [24, 36, 48, 96, 192]
+QUICK_DATASETS = ["ETTm1", "Exchange"]
+QUICK_HORIZONS = [24, 48]
+
+
+def run(
+    scale: ExperimentScale | None = None,
+    datasets: list[str] | None = None,
+    horizons: list[int] | None = None,
+    models: list[str] | None = None,
+) -> list[dict]:
+    """Regenerate Table I rows: one per (dataset, horizon, model)."""
+    scale = scale or get_scale()
+    full = bool(os.environ.get("REPRO_FULL"))
+    datasets = datasets or (FULL_DATASETS if full else QUICK_DATASETS)
+    horizons = horizons or (FULL_HORIZONS if full else QUICK_HORIZONS)
+    models = models or PAPER_MODELS
+
+    rows: list[dict] = []
+    for dataset in datasets:
+        for horizon in horizons:
+            data = prepare_data(dataset, horizon, scale)
+            for model in models:
+                result = strip_private(run_model(model, data, scale))
+                result.update(dataset=dataset, horizon=horizon)
+                rows.append(result)
+    return rows
+
+
+def main() -> list[dict]:
+    rows = run()
+    print(format_table(rows, title="Table I — long-term forecasting"))
+    save_csv(rows, f"{results_dir()}/table1.csv")
+    return rows
+
+
+if __name__ == "__main__":
+    main()

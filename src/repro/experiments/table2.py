@@ -1,0 +1,55 @@
+"""Table II — short-term forecasting on PEMS traffic data.
+
+Paper protocol: input 96, horizon 12, PEMS04 and PEMS08, all models.
+The inverted-embedding models (TimeKD, TimeCMA, iTransformer) should win
+because they model cross-sensor dependencies (paper Section V-B2).
+"""
+
+from __future__ import annotations
+
+from ..eval import format_table, save_csv
+from .common import (
+    PAPER_MODELS,
+    ExperimentScale,
+    get_scale,
+    prepare_data,
+    results_dir,
+    run_model,
+    strip_private,
+)
+
+__all__ = ["run", "main"]
+
+DATASETS = ["PEMS04", "PEMS08"]
+HORIZON = 12
+
+
+def run(
+    scale: ExperimentScale | None = None,
+    datasets: list[str] | None = None,
+    models: list[str] | None = None,
+) -> list[dict]:
+    """Regenerate Table II rows: one per (dataset, model)."""
+    scale = scale or get_scale()
+    datasets = datasets or DATASETS
+    models = models or PAPER_MODELS
+
+    rows: list[dict] = []
+    for dataset in datasets:
+        data = prepare_data(dataset, HORIZON, scale)
+        for model in models:
+            result = strip_private(run_model(model, data, scale))
+            result.update(dataset=dataset, horizon=HORIZON)
+            rows.append(result)
+    return rows
+
+
+def main() -> list[dict]:
+    rows = run()
+    print(format_table(rows, title="Table II — short-term forecasting (PEMS)"))
+    save_csv(rows, f"{results_dir()}/table2.csv")
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Table III — ablation over LLM backbones within TimeKD.
+
+Paper protocol: Exchange, horizon 24, comparing BERT, GPT-2 and
+LLaMA-3.2 backbones; larger backbones should improve accuracy at a
+higher parameter cost (ordering bert < gpt2 < llama is preserved by the
+tiny stand-ins; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from ..eval import format_table, save_csv
+from ..llm import BACKBONE_CONFIGS, build_backbone
+from .common import (
+    ExperimentScale,
+    get_scale,
+    prepare_data,
+    results_dir,
+    run_timekd,
+    strip_private,
+)
+
+__all__ = ["run", "main", "BACKBONES"]
+
+BACKBONES = ["bert-tiny", "gpt2-tiny", "llama-tiny"]
+DATASET = "Exchange"
+HORIZON = 24
+
+
+def _model_size_m(name: str) -> float:
+    """Parameter count of a backbone, in millions."""
+    return build_backbone(name).num_parameters() / 1e6
+
+
+def run(scale: ExperimentScale | None = None,
+        backbones: list[str] | None = None) -> list[dict]:
+    """Regenerate Table III rows: one per backbone."""
+    scale = scale or get_scale()
+    backbones = backbones or BACKBONES
+    rows: list[dict] = []
+    for name in backbones:
+        data = prepare_data(DATASET, HORIZON, scale)
+        result = strip_private(run_timekd(data, scale, llm_name=name))
+        result.update(
+            llm=name,
+            model_size_M=round(_model_size_m(name), 4),
+            dataset=DATASET,
+            horizon=HORIZON,
+        )
+        rows.append(result)
+    return rows
+
+
+def main() -> list[dict]:
+    rows = run()
+    print(format_table(rows, title="Table III — LLM backbone ablation"))
+    save_csv(rows, f"{results_dir()}/table3.csv")
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Table VI — zero-shot transfer across ETT datasets.
+
+Paper protocol: train on one ETT dataset, evaluate unchanged on another
+(ETTm1→ETTm2, ETTm2→ETTm1, ETTh1→ETTh2, ETTh2→ETTh1), horizon 96.
+TimeKD's privileged distillation should transfer temporal structure best.
+"""
+
+from __future__ import annotations
+
+from ..eval import evaluate_forecast_model, format_table, save_csv
+from .common import (
+    PAPER_MODELS,
+    ExperimentScale,
+    get_scale,
+    prepare_data,
+    results_dir,
+    run_model,
+)
+
+__all__ = ["run", "main", "TRANSFERS"]
+
+TRANSFERS = [
+    ("ETTm1", "ETTm2"),
+    ("ETTm2", "ETTm1"),
+    ("ETTh1", "ETTh2"),
+    ("ETTh2", "ETTh1"),
+]
+QUICK_TRANSFERS = [("ETTm1", "ETTm2"), ("ETTh1", "ETTh2")]
+HORIZON = 96
+
+
+def run(
+    scale: ExperimentScale | None = None,
+    transfers: list[tuple[str, str]] | None = None,
+    models: list[str] | None = None,
+) -> list[dict]:
+    """Regenerate Table VI rows: one per (transfer, model)."""
+    import os
+
+    scale = scale or get_scale()
+    full = bool(os.environ.get("REPRO_FULL"))
+    transfers = transfers or (TRANSFERS if full else QUICK_TRANSFERS)
+    models = models or PAPER_MODELS
+
+    rows: list[dict] = []
+    for source, target in transfers:
+        length = max(scale.data_length, 1600)  # horizon-96 split minimum
+        source_data = prepare_data(source, HORIZON, scale, length=length)
+        target_data = prepare_data(target, HORIZON, scale, length=length)
+        for name in models:
+            result = run_model(name, source_data, scale)
+            if "_forecaster" in result:  # TimeKD
+                metrics = result["_forecaster"].evaluate(target_data.test)
+            else:
+                metrics = evaluate_forecast_model(
+                    result["_model"], target_data.test)
+            rows.append({
+                "transfer": f"{source}->{target}",
+                "model": name,
+                "mse": metrics["mse"],
+                "mae": metrics["mae"],
+            })
+    return rows
+
+
+def main() -> list[dict]:
+    rows = run()
+    print(format_table(rows, title="Table VI — zero-shot transfer (ETT)"))
+    save_csv(rows, f"{results_dir()}/table6.csv")
+    return rows
+
+
+if __name__ == "__main__":
+    main()

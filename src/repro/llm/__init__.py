@@ -1,0 +1,38 @@
+"""``repro.llm`` — the language-model substrate.
+
+Offline stand-in for the paper's HF checkpoints: a modality-tagged prompt
+tokenizer, three tiny backbone families (BERT/GPT-2/LLaMA-like), a
+synthetic pretraining corpus, and the Calibrated Language Model wrapper
+(frozen backbone + cross-modality attention penalty + last-token
+extraction).
+"""
+
+from .backbones import LMConfig, RotaryMultiHeadAttention, TransformerLM
+from .calibrated import CalibratedLanguageModel, build_calibrated_bias
+from .corpus import CorpusConfig, NarrationCorpus
+from .pretrain import default_cache_dir, get_pretrained, perplexity, pretrain_backbone
+from .registry import BACKBONE_CONFIGS, backbone_names, build_backbone
+from .tokenizer import PromptTokenizer, TokenizedPrompt
+from .vocab import NUMERIC_MODALITY, TEXT_MODALITY, Vocabulary
+
+__all__ = [
+    "LMConfig",
+    "TransformerLM",
+    "RotaryMultiHeadAttention",
+    "CalibratedLanguageModel",
+    "build_calibrated_bias",
+    "CorpusConfig",
+    "NarrationCorpus",
+    "pretrain_backbone",
+    "get_pretrained",
+    "perplexity",
+    "default_cache_dir",
+    "BACKBONE_CONFIGS",
+    "build_backbone",
+    "backbone_names",
+    "PromptTokenizer",
+    "TokenizedPrompt",
+    "Vocabulary",
+    "TEXT_MODALITY",
+    "NUMERIC_MODALITY",
+]

@@ -1,0 +1,255 @@
+"""From-scratch language-model backbones.
+
+Three families stand in for the paper's HF checkpoints (Table III):
+
+* ``bert-tiny``  — bidirectional, LayerNorm + GELU, learned positions;
+* ``gpt2-tiny``  — causal, LayerNorm + GELU, learned positions;
+* ``llama-tiny`` — causal, RMSNorm + SwiGLU + rotary positions.
+
+They share :class:`TransformerLM`, which exposes hidden states for the
+calibrated-language-model wrapper and tied-embedding logits for
+pretraining.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn import (
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    Module,
+    ModuleList,
+    PositionalEncoding,
+    RMSNorm,
+    Tensor,
+)
+from ..nn.attention import causal_mask
+from ..nn.functional import gelu, silu
+from ..nn import stack as tensor_stack
+
+__all__ = ["LMConfig", "TransformerLM", "RotaryMultiHeadAttention"]
+
+
+@dataclass(frozen=True)
+class LMConfig:
+    """Hyperparameters of a :class:`TransformerLM` backbone."""
+
+    name: str
+    vocab_size: int
+    dim: int
+    num_layers: int
+    num_heads: int
+    ffn_dim: int
+    max_length: int = 512
+    causal: bool = True
+    norm: str = "layer"  # "layer" | "rms"
+    activation: str = "gelu"  # "gelu" | "swiglu"
+    positions: str = "learned"  # "learned" | "rope"
+    dropout: float = 0.0
+
+
+def _make_norm(kind: str, dim: int) -> Module:
+    if kind == "layer":
+        return LayerNorm(dim)
+    if kind == "rms":
+        return RMSNorm(dim)
+    raise ValueError(f"unknown norm kind {kind!r}")
+
+
+class RotaryMultiHeadAttention(Module):
+    """Multi-head attention with rotary position embeddings (RoPE).
+
+    Equivalent to :class:`repro.nn.MultiHeadAttention` but rotates the
+    query/key head vectors by position-dependent angles, as in LLaMA.
+    """
+
+    def __init__(self, dim: int, num_heads: int, max_length: int = 512):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError("dim must divide num_heads")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        if self.head_dim % 2 != 0:
+            raise ValueError("head_dim must be even for RoPE")
+        self.q_proj = Linear(dim, dim)
+        self.k_proj = Linear(dim, dim)
+        self.v_proj = Linear(dim, dim)
+        self.out_proj = Linear(dim, dim)
+        self.last_attention: np.ndarray | None = None
+        self._cos, self._sin = _rope_tables(max_length, self.head_dim)
+
+    def _split(self, x: Tensor) -> Tensor:
+        batch, seq, _ = x.shape
+        return x.reshape(batch, seq, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _rotate(self, x: Tensor) -> Tensor:
+        """Apply RoPE over the last axis of ``(B, H, S, Dh)``."""
+        seq = x.shape[2]
+        cos = Tensor(self._cos[:seq])
+        sin = Tensor(self._sin[:seq])
+        even = x[..., 0::2]
+        odd = x[..., 1::2]
+        rotated_even = even * cos - odd * sin
+        rotated_odd = even * sin + odd * cos
+        merged = tensor_stack([rotated_even, rotated_odd], axis=-1)
+        batch, heads, seq, half, _ = merged.shape
+        return merged.reshape(batch, heads, seq, half * 2)
+
+    def forward(self, x: Tensor, attn_bias: np.ndarray | None = None) -> Tensor:
+        q = self._rotate(self._split(self.q_proj(x)))
+        k = self._rotate(self._split(self.k_proj(x)))
+        v = self._split(self.v_proj(x))
+        scores = q.matmul(k.swapaxes(-1, -2)) * (1.0 / math.sqrt(self.head_dim))
+        if attn_bias is not None:
+            scores = scores + Tensor(np.asarray(attn_bias, dtype=np.float32))
+        weights = scores.softmax(axis=-1)
+        self.last_attention = weights.data.mean(axis=1)
+        context = weights.matmul(v).transpose(0, 2, 1, 3)
+        batch, seq, heads, head_dim = context.shape
+        context = context.reshape(batch, seq, heads * head_dim)
+        return self.out_proj(context)
+
+
+def _rope_tables(max_length: int, head_dim: int) -> tuple[np.ndarray, np.ndarray]:
+    half = head_dim // 2
+    freqs = 1.0 / (10000.0 ** (np.arange(half) / half))
+    angles = np.outer(np.arange(max_length), freqs)
+    return (
+        np.cos(angles).astype(np.float32),
+        np.sin(angles).astype(np.float32),
+    )
+
+
+class _SwiGLU(Module):
+    """LLaMA-style gated feed-forward: ``W2(silu(W1 x) * W3 x)``."""
+
+    def __init__(self, dim: int, hidden: int):
+        super().__init__()
+        self.gate = Linear(dim, hidden, bias=False)
+        self.up = Linear(dim, hidden, bias=False)
+        self.down = Linear(hidden, dim, bias=False)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.down(silu(self.gate(x)) * self.up(x))
+
+
+class _GELUFFN(Module):
+    """GPT-2 / BERT feed-forward."""
+
+    def __init__(self, dim: int, hidden: int):
+        super().__init__()
+        self.fc1 = Linear(dim, hidden)
+        self.fc2 = Linear(hidden, dim)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc2(gelu(self.fc1(x)))
+
+
+class _LMBlock(Module):
+    """One pre-norm transformer block of a backbone."""
+
+    def __init__(self, config: LMConfig):
+        super().__init__()
+        from ..nn.attention import MultiHeadAttention  # local to avoid cycle
+
+        self.norm1 = _make_norm(config.norm, config.dim)
+        if config.positions == "rope":
+            self.attention = RotaryMultiHeadAttention(
+                config.dim, config.num_heads, max_length=config.max_length)
+        else:
+            self.attention = MultiHeadAttention(config.dim, config.num_heads)
+        self.norm2 = _make_norm(config.norm, config.dim)
+        if config.activation == "swiglu":
+            self.ffn = _SwiGLU(config.dim, config.ffn_dim)
+        else:
+            self.ffn = _GELUFFN(config.dim, config.ffn_dim)
+        self.dropout = Dropout(config.dropout)
+
+    def forward(self, x: Tensor, attn_bias: np.ndarray | None = None) -> Tensor:
+        x = x + self.dropout(self.attention(self.norm1(x), attn_bias=attn_bias))
+        x = x + self.dropout(self.ffn(self.norm2(x)))
+        return x
+
+
+class TransformerLM(Module):
+    """A small decoder(-or-encoder) language model.
+
+    Parameters
+    ----------
+    config:
+        Architecture description; see :class:`LMConfig`.
+
+    The model exposes:
+
+    * :meth:`forward` — contextual hidden states ``(B, S, D)`` with an
+      optional *extra* additive attention bias (the calibrated-attention
+      hook, paper Eq. 3-5);
+    * :meth:`logits` — tied-embedding next-token scores for pretraining.
+    """
+
+    def __init__(self, config: LMConfig):
+        super().__init__()
+        self.config = config
+        self.token_embedding = Embedding(config.vocab_size, config.dim)
+        if config.positions == "learned":
+            self.positional = PositionalEncoding(config.max_length, config.dim)
+        else:
+            self.positional = None
+        self.blocks = ModuleList([_LMBlock(config) for _ in range(config.num_layers)])
+        self.final_norm = _make_norm(config.norm, config.dim)
+
+    def _attention_bias(
+        self, seq_len: int, extra_bias: np.ndarray | None
+    ) -> np.ndarray | None:
+        bias = None
+        if self.config.causal:
+            bias = causal_mask(seq_len)
+        if extra_bias is not None:
+            extra = np.asarray(extra_bias, dtype=np.float32)
+            bias = extra if bias is None else bias + extra
+        return bias
+
+    def forward(
+        self, token_ids: np.ndarray, extra_bias: np.ndarray | None = None
+    ) -> Tensor:
+        """Encode ``(B, S)`` token ids into ``(B, S, D)`` hidden states.
+
+        ``extra_bias`` is added to the pre-softmax attention scores of
+        every layer and must broadcast to ``(B, heads, S, S)``; TimeKD
+        passes the calibrated modality mask here.
+        """
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if token_ids.ndim == 1:
+            token_ids = token_ids[None, :]
+        x = self.token_embedding(token_ids)
+        if self.positional is not None:
+            x = self.positional(x)
+        bias = self._attention_bias(token_ids.shape[1], extra_bias)
+        for block in self.blocks:
+            x = block(x, attn_bias=bias)
+        return self.final_norm(x)
+
+    def logits(
+        self, token_ids: np.ndarray, extra_bias: np.ndarray | None = None
+    ) -> Tensor:
+        """Next-token logits with weights tied to the input embedding."""
+        hidden = self.forward(token_ids, extra_bias=extra_bias)
+        return hidden.matmul(self.token_embedding.weight.T)
+
+    def last_token_state(
+        self, token_ids: np.ndarray, extra_bias: np.ndarray | None = None
+    ) -> Tensor:
+        """Hidden state of the final position of each sequence, ``(B, D)``.
+
+        The paper's last-token extractor: under causal masking the final
+        token summarizes the whole prompt.
+        """
+        hidden = self.forward(token_ids, extra_bias=extra_bias)
+        return hidden[:, -1, :]

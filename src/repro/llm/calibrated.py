@@ -1,0 +1,117 @@
+"""Calibrated Language Models (CLMs) — paper Section IV-B1.
+
+A CLM is a *frozen* pretrained backbone whose attention scores are
+calibrated by modality: cross-modality token pairs (text ↔ numeric value)
+receive an additive ``-Delta`` penalty (Eq. 5), suppressing inter-modality
+fusion while keeping intra-modality correlations intact.  The wrapper
+extracts last-token embeddings, the unit of knowledge the teacher
+distills from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Module, Tensor, no_grad
+from .backbones import TransformerLM
+from .tokenizer import TokenizedPrompt
+
+__all__ = ["build_calibrated_bias", "CalibratedLanguageModel"]
+
+
+def build_calibrated_bias(modality: np.ndarray, delta: float) -> np.ndarray:
+    """Additive attention bias from modality tags (paper Eq. 5).
+
+    Parameters
+    ----------
+    modality:
+        Integer tags, shape ``(S,)`` or ``(B, S)``.
+    delta:
+        Cross-modality penalty ``Delta >= 0``; 0 recovers the vanilla
+        mask (the ``w/o CA`` ablation).
+
+    Returns
+    -------
+    Bias of shape ``(S, S)`` or ``(B, 1, S, S)`` with ``-delta`` where
+    tokens ``i`` and ``j`` differ in modality and 0 elsewhere.
+    """
+    modality = np.asarray(modality)
+    if delta < 0:
+        raise ValueError("delta must be non-negative")
+    if modality.ndim == 1:
+        cross = modality[:, None] != modality[None, :]
+        return np.where(cross, -float(delta), 0.0).astype(np.float32)
+    if modality.ndim == 2:
+        cross = modality[:, :, None] != modality[:, None, :]
+        bias = np.where(cross, -float(delta), 0.0).astype(np.float32)
+        return bias[:, None, :, :]
+    raise ValueError(f"modality must be 1-D or 2-D, got shape {modality.shape}")
+
+
+class CalibratedLanguageModel(Module):
+    """Frozen backbone + calibrated attention + last-token extraction.
+
+    Parameters
+    ----------
+    backbone:
+        A (pretrained) :class:`TransformerLM`.  It is frozen on
+        construction: the CLM is only ever used as a feature extractor
+        (paper Figure 3 marks it with the snowflake).
+    delta:
+        Calibration penalty applied to cross-modality attention scores.
+    pooling:
+        ``"last"`` (paper: last-token extractor) or ``"mean"`` (ablation:
+        average over all token states).
+
+    Calling the model with a batched :class:`TokenizedPrompt` of shape
+    ``(N, S)`` returns pooled embeddings ``(N, D)``.
+    """
+
+    def __init__(self, backbone: TransformerLM, delta: float = 1.0,
+                 pooling: str = "last"):
+        super().__init__()
+        if pooling not in ("last", "mean"):
+            raise ValueError(f"unknown pooling {pooling!r}")
+        self.backbone = backbone
+        self.backbone.freeze()
+        self.delta = float(delta)
+        self.pooling = pooling
+
+    @property
+    def dim(self) -> int:
+        return self.backbone.config.dim
+
+    def forward(self, prompt: TokenizedPrompt) -> Tensor:
+        """Encode a batched prompt into last-token embeddings ``(N, D)``.
+
+        Runs under ``no_grad``: the backbone is frozen and its outputs
+        are stored as constants for distillation, exactly as the paper's
+        embedding storage prescribes.
+        """
+        token_ids = np.atleast_2d(prompt.token_ids)
+        modality = np.atleast_2d(prompt.modality)
+        bias = (
+            build_calibrated_bias(modality, self.delta)
+            if self.delta > 0.0
+            else None
+        )
+        with no_grad():
+            hidden = self.backbone(token_ids, extra_bias=bias)
+            if self.pooling == "mean":
+                pooled = hidden.mean(axis=1)
+            else:
+                pooled = hidden[:, -1, :]
+        return pooled.detach()
+
+    def hidden_states(self, prompt: TokenizedPrompt) -> Tensor:
+        """Full ``(N, S, D)`` hidden states (used in tests/analysis)."""
+        token_ids = np.atleast_2d(prompt.token_ids)
+        modality = np.atleast_2d(prompt.modality)
+        bias = (
+            build_calibrated_bias(modality, self.delta)
+            if self.delta > 0.0
+            else None
+        )
+        with no_grad():
+            hidden = self.backbone(token_ids, extra_bias=bias)
+        return hidden.detach()

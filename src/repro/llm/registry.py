@@ -1,0 +1,77 @@
+"""Backbone registry — the three LLM families of paper Table III.
+
+Sizes scale down (110M/117M/3B → tens of thousands of parameters) but the
+relative ordering and the architectural signatures are preserved:
+
+========== ============ ======== ===========================
+name        paper model  causal   signature
+========== ============ ======== ===========================
+bert-tiny   BERT-base    no       LayerNorm + GELU, learned pos
+gpt2-tiny   GPT-2        yes      LayerNorm + GELU, learned pos
+llama-tiny  LLaMA-3.2    yes      RMSNorm + SwiGLU + RoPE
+========== ============ ======== ===========================
+"""
+
+from __future__ import annotations
+
+from .backbones import LMConfig, TransformerLM
+from .vocab import Vocabulary
+
+__all__ = ["BACKBONE_CONFIGS", "build_backbone", "backbone_names"]
+
+_DEFAULT_VOCAB = Vocabulary()
+
+BACKBONE_CONFIGS: dict[str, LMConfig] = {
+    "bert-tiny": LMConfig(
+        name="bert-tiny",
+        vocab_size=len(_DEFAULT_VOCAB),
+        dim=32,
+        num_layers=2,
+        num_heads=2,
+        ffn_dim=64,
+        causal=False,
+        norm="layer",
+        activation="gelu",
+        positions="learned",
+    ),
+    "gpt2-tiny": LMConfig(
+        name="gpt2-tiny",
+        vocab_size=len(_DEFAULT_VOCAB),
+        dim=48,
+        num_layers=2,
+        num_heads=4,
+        ffn_dim=96,
+        causal=True,
+        norm="layer",
+        activation="gelu",
+        positions="learned",
+    ),
+    "llama-tiny": LMConfig(
+        name="llama-tiny",
+        vocab_size=len(_DEFAULT_VOCAB),
+        dim=64,
+        num_layers=3,
+        num_heads=4,
+        ffn_dim=128,
+        causal=True,
+        norm="rms",
+        activation="swiglu",
+        positions="rope",
+    ),
+}
+
+
+def backbone_names() -> list[str]:
+    """Registered backbone names, smallest first."""
+    return list(BACKBONE_CONFIGS)
+
+
+def build_backbone(name: str, vocab: Vocabulary | None = None) -> TransformerLM:
+    """Instantiate an (untrained) backbone by registry name."""
+    if name not in BACKBONE_CONFIGS:
+        raise KeyError(
+            f"unknown backbone {name!r}; available: {backbone_names()}")
+    config = BACKBONE_CONFIGS[name]
+    if vocab is not None and len(vocab) != config.vocab_size:
+        config = LMConfig(**{**config.__dict__, "vocab_size": len(vocab)})
+    return TransformerLM(config)

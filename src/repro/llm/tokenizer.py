@@ -1,0 +1,174 @@
+"""Prompt construction and tokenization with modality tags.
+
+Implements the two prompt templates of paper Figure 2:
+
+* **historical prompt** ``P_HD`` — "From <t-H+1> to <t>, values were
+  <h_1 ... h_H> every <f> minutes. Forecast the next <M> minutes";
+* **ground-truth prompt** ``P_GT`` — the same, followed by
+  ": <g_1 ... g_M>" (the privileged future values).
+
+Each token carries a modality tag (:data:`TEXT_MODALITY` or
+:data:`NUMERIC_MODALITY`) which the calibrated attention mask consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .vocab import NUMERIC_MODALITY, TEXT_MODALITY, Vocabulary
+
+__all__ = ["TokenizedPrompt", "PromptTokenizer"]
+
+
+@dataclass
+class TokenizedPrompt:
+    """A tokenized prompt: ids, modality tags and the source text."""
+
+    token_ids: np.ndarray
+    modality: np.ndarray
+    text: str = ""
+
+    def __post_init__(self):
+        self.token_ids = np.asarray(self.token_ids, dtype=np.int64)
+        self.modality = np.asarray(self.modality, dtype=np.int64)
+        if self.token_ids.shape != self.modality.shape:
+            raise ValueError("token_ids and modality must have equal shape")
+
+    def __len__(self) -> int:
+        return len(self.token_ids)
+
+
+@dataclass
+class PromptTokenizer:
+    """Render and tokenize the Figure-2 prompt templates.
+
+    Parameters
+    ----------
+    vocab:
+        Shared vocabulary.
+    frequency_minutes:
+        Sampling interval announced in the template.
+    value_stride:
+        Include every ``value_stride``-th *historical* observation in
+        the prompt.  The paper uses every value; a stride > 1 shortens
+        sequences so the frozen CLM fits the 1-CPU budget while
+        preserving the template structure.
+    future_stride:
+        Stride for the privileged future values of ``P_GT``.  Kept at 1
+        by default: the ground-truth continuation is the privileged
+        signal, so it is never decimated.
+    """
+
+    vocab: Vocabulary = field(default_factory=Vocabulary)
+    frequency_minutes: int = 15
+    value_stride: int = 1
+    future_stride: int = 1
+
+    def _prefix_ids(self, num_values: int) -> tuple[list[int], list[int], list[str]]:
+        words = ["from", "to", "values", "were"]
+        ids = [self.vocab.bos_id] + [self.vocab.word_id(w) for w in words]
+        modality = [TEXT_MODALITY] * len(ids)
+        return ids, modality, words
+
+    def _suffix_words(self, horizon: int) -> list[str]:
+        return ["every", "minutes", "forecast", "the", "next", "minutes"]
+
+    def historical_prompt(self, history: np.ndarray, horizon: int) -> TokenizedPrompt:
+        """Tokenize the historical prompt ``P_HD`` for one variable.
+
+        Parameters
+        ----------
+        history:
+            1-D array of (standardized) historical values ``X_H[:, n]``.
+        horizon:
+            Forecast horizon ``M`` announced in the instruction.
+        """
+        history = np.asarray(history, dtype=np.float64).ravel()
+        values = history[:: self.value_stride]
+        ids, modality, words = self._prefix_ids(len(values))
+
+        value_ids = self.vocab.value_ids(values)
+        ids.extend(int(v) for v in value_ids)
+        modality.extend([NUMERIC_MODALITY] * len(value_ids))
+
+        suffix = self._suffix_words(horizon)
+        ids.extend(self.vocab.word_id(w) for w in suffix)
+        modality.extend([TEXT_MODALITY] * len(suffix))
+        ids.append(self.vocab.eos_id)
+        modality.append(TEXT_MODALITY)
+
+        text = "from t-H+1 to t, values were " + " ".join(
+            f"{v:.2f}" for v in values
+        ) + f" every {self.frequency_minutes} minutes. forecast the next {horizon} minutes"
+        return TokenizedPrompt(np.array(ids), np.array(modality), text)
+
+    def ground_truth_prompt(
+        self, history: np.ndarray, future: np.ndarray
+    ) -> TokenizedPrompt:
+        """Tokenize the privileged prompt ``P_GT`` for one variable.
+
+        The ground-truth continuation is appended after a separator, so
+        ``P_GT`` strictly extends ``P_HD`` — future data is *privileged
+        information* only available at training time (paper Figure 1).
+        """
+        history = np.asarray(history, dtype=np.float64).ravel()
+        future = np.asarray(future, dtype=np.float64).ravel()
+        base = self.historical_prompt(history, horizon=len(future))
+
+        ids = list(base.token_ids[:-1])  # drop eos, continue the sequence
+        modality = list(base.modality[:-1])
+        ids.append(self.vocab.sep_id)
+        modality.append(TEXT_MODALITY)
+
+        future_values = future[:: self.future_stride]
+        value_ids = self.vocab.value_ids(future_values)
+        ids.extend(int(v) for v in value_ids)
+        modality.extend([NUMERIC_MODALITY] * len(value_ids))
+        ids.append(self.vocab.eos_id)
+        modality.append(TEXT_MODALITY)
+
+        text = base.text + ": " + " ".join(f"{v:.2f}" for v in future_values)
+        return TokenizedPrompt(np.array(ids), np.array(modality), text)
+
+    # ------------------------------------------------------------------
+    # batched multivariate helpers
+    # ------------------------------------------------------------------
+    def batch_historical(self, history: np.ndarray, horizon: int) -> TokenizedPrompt:
+        """Tokenize ``P_HD`` for every variable of an ``(H, N)`` window.
+
+        All variables share one template, so sequences align and stack
+        into ``(N, S)`` arrays.
+        """
+        history = np.asarray(history)
+        prompts = [
+            self.historical_prompt(history[:, n], horizon)
+            for n in range(history.shape[1])
+        ]
+        return _stack_prompts(prompts)
+
+    def batch_ground_truth(
+        self, history: np.ndarray, future: np.ndarray
+    ) -> TokenizedPrompt:
+        """Tokenize ``P_GT`` for every variable of aligned windows."""
+        history = np.asarray(history)
+        future = np.asarray(future)
+        if history.shape[1] != future.shape[1]:
+            raise ValueError("history and future must share the variable axis")
+        prompts = [
+            self.ground_truth_prompt(history[:, n], future[:, n])
+            for n in range(history.shape[1])
+        ]
+        return _stack_prompts(prompts)
+
+
+def _stack_prompts(prompts: list[TokenizedPrompt]) -> TokenizedPrompt:
+    lengths = {len(p) for p in prompts}
+    if len(lengths) != 1:
+        raise ValueError(f"prompts have inconsistent lengths: {sorted(lengths)}")
+    return TokenizedPrompt(
+        np.stack([p.token_ids for p in prompts]),
+        np.stack([p.modality for p in prompts]),
+        prompts[0].text if prompts else "",
+    )

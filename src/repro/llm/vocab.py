@@ -1,0 +1,101 @@
+"""Vocabulary for the prompt language models.
+
+The prompt templates (paper Figure 2) mix a small closed set of English
+words with numeric value tokens.  Numeric values are quantized into
+``num_value_bins`` buckets over a fixed z-score range, which gives the
+language model a discrete, learnable "numeric sub-language" — the same
+role byte-pair numeric chunks play for GPT-2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Vocabulary", "TEXT_MODALITY", "NUMERIC_MODALITY"]
+
+#: Modality tag for natural-language template tokens.
+TEXT_MODALITY = 0
+#: Modality tag for quantized time-series value tokens.
+NUMERIC_MODALITY = 1
+
+_TEMPLATE_WORDS = [
+    "from", "to", "the", "values", "were", "every", "minutes", "hours",
+    "days", "forecast", "next", "steps", "value", "was", "and", "for",
+    "dataset", "variable", "of", "series", "time", "predict", "is",
+    "trend", "up", "down", "flat",
+]
+
+_SPECIAL = ["<pad>", "<bos>", "<eos>", "<unk>", "<sep>"]
+
+
+class Vocabulary:
+    """Closed vocabulary of special tokens, template words and value bins.
+
+    Parameters
+    ----------
+    num_value_bins:
+        Number of quantization buckets for numeric values.
+    value_range:
+        Symmetric clipping range for (standardized) values before
+        bucketing.
+    """
+
+    def __init__(self, num_value_bins: int = 64, value_range: float = 5.0):
+        self.num_value_bins = num_value_bins
+        self.value_range = value_range
+        self._tokens = list(_SPECIAL) + list(_TEMPLATE_WORDS)
+        self._value_offset = len(self._tokens)
+        self._tokens += [f"<v{i}>" for i in range(num_value_bins)]
+        self._index = {token: i for i, token in enumerate(self._tokens)}
+        self.pad_id = self._index["<pad>"]
+        self.bos_id = self._index["<bos>"]
+        self.eos_id = self._index["<eos>"]
+        self.unk_id = self._index["<unk>"]
+        self.sep_id = self._index["<sep>"]
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    # ------------------------------------------------------------------
+    # words
+    # ------------------------------------------------------------------
+    def word_id(self, word: str) -> int:
+        """Id of a template word (``<unk>`` for out-of-vocabulary)."""
+        return self._index.get(word.lower(), self.unk_id)
+
+    def id_to_token(self, token_id: int) -> str:
+        return self._tokens[token_id]
+
+    def is_value_token(self, token_id: int) -> bool:
+        return token_id >= self._value_offset
+
+    # ------------------------------------------------------------------
+    # numeric values
+    # ------------------------------------------------------------------
+    def value_id(self, value: float) -> int:
+        """Quantize ``value`` into its bucket token id."""
+        return self._value_offset + self.value_bin(value)
+
+    def value_bin(self, value: float) -> int:
+        clipped = float(np.clip(value, -self.value_range, self.value_range))
+        unit = (clipped + self.value_range) / (2.0 * self.value_range)
+        bin_index = int(unit * (self.num_value_bins - 1) + 0.5)
+        return min(bin_index, self.num_value_bins - 1)
+
+    def value_ids(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`value_id` over an array."""
+        clipped = np.clip(values, -self.value_range, self.value_range)
+        unit = (clipped + self.value_range) / (2.0 * self.value_range)
+        bins = np.minimum(
+            (unit * (self.num_value_bins - 1) + 0.5).astype(np.int64),
+            self.num_value_bins - 1,
+        )
+        return bins + self._value_offset
+
+    def bin_center(self, token_id: int) -> float:
+        """Representative value of a value-bin token (for decoding)."""
+        if not self.is_value_token(token_id):
+            raise ValueError(f"token {token_id} is not a value token")
+        bin_index = token_id - self._value_offset
+        unit = bin_index / (self.num_value_bins - 1)
+        return unit * 2.0 * self.value_range - self.value_range

@@ -1,0 +1,110 @@
+"""Multi-head attention with additive score biases.
+
+The additive-bias hook is what the TimeKD calibrated attention (paper
+Eq. 3-5) plugs into: the calibrated mask contributes ``-Delta`` to the
+pre-softmax scores of cross-modality token pairs, while causal masking
+contributes ``-inf`` above the diagonal.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .linear import Linear
+from .module import Module
+from .tensor import Tensor
+
+__all__ = ["MultiHeadAttention", "causal_mask"]
+
+NEG_INF = -1e9
+
+
+def causal_mask(length: int) -> np.ndarray:
+    """Additive causal bias: 0 on/below the diagonal, ``-inf`` above."""
+    mask = np.zeros((length, length), dtype=np.float32)
+    mask[np.triu_indices(length, k=1)] = NEG_INF
+    return mask
+
+
+class MultiHeadAttention(Module):
+    """Scaled dot-product attention over ``(batch, seq, dim)`` inputs.
+
+    Parameters
+    ----------
+    dim:
+        Model width; must be divisible by ``num_heads``.
+    num_heads:
+        Number of attention heads.
+    bias:
+        Whether the four projections carry additive biases.
+
+    The forward pass optionally returns the post-softmax attention
+    weights averaged across heads, which TimeKD's correlation
+    distillation (Eq. 24) consumes.
+    """
+
+    def __init__(self, dim: int, num_heads: int, bias: bool = True):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.q_proj = Linear(dim, dim, bias=bias)
+        self.k_proj = Linear(dim, dim, bias=bias)
+        self.v_proj = Linear(dim, dim, bias=bias)
+        self.out_proj = Linear(dim, dim, bias=bias)
+        self.last_attention: np.ndarray | None = None
+
+    def _split_heads(self, x: Tensor) -> Tensor:
+        batch, seq, _ = x.shape
+        return x.reshape(batch, seq, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: Tensor) -> Tensor:
+        batch, heads, seq, head_dim = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(batch, seq, heads * head_dim)
+
+    def forward(
+        self,
+        query: Tensor,
+        key: Tensor | None = None,
+        value: Tensor | None = None,
+        attn_bias: np.ndarray | None = None,
+        return_weights: bool = False,
+    ):
+        """Attend ``query`` over ``key``/``value``.
+
+        Parameters
+        ----------
+        query / key / value:
+            ``(batch, seq, dim)``; ``key``/``value`` default to ``query``
+            (self-attention).
+        attn_bias:
+            Optional additive pre-softmax bias broadcastable to
+            ``(batch, heads, q_len, k_len)`` — e.g. a causal or
+            calibrated-modality mask.
+        return_weights:
+            Also return head-averaged attention ``(batch, q_len, k_len)``
+            as a differentiable :class:`Tensor` — gradients flow through
+            it, which correlation distillation requires.
+        """
+        key = query if key is None else key
+        value = key if value is None else value
+
+        q = self._split_heads(self.q_proj(query))
+        k = self._split_heads(self.k_proj(key))
+        v = self._split_heads(self.v_proj(value))
+
+        scores = q.matmul(k.swapaxes(-1, -2)) * (1.0 / math.sqrt(self.head_dim))
+        if attn_bias is not None:
+            scores = scores + Tensor(np.asarray(attn_bias, dtype=np.float32))
+        weights = scores.softmax(axis=-1)
+        self.last_attention = weights.data.mean(axis=1)
+
+        context = self._merge_heads(weights.matmul(v))
+        output = self.out_proj(context)
+        if return_weights:
+            return output, weights.mean(axis=1)
+        return output

@@ -1,0 +1,31 @@
+"""Inverted dropout."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .module import Module
+from .tensor import Tensor
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Module):
+    """Randomly zero activations with probability ``p`` during training.
+
+    Uses inverted scaling so evaluation is the identity function.
+    """
+
+    def __init__(self, p: float = 0.1, rng: np.random.Generator | None = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = rng or np.random.default_rng(0)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep).astype(np.float32) / keep
+        return x * Tensor(mask)

@@ -1,0 +1,62 @@
+"""Embedding layers: token lookup and learnable positional encodings."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor
+
+__all__ = ["Embedding", "PositionalEncoding", "SinusoidalPositionalEncoding"]
+
+
+class Embedding(Module):
+    """Token-id lookup table, ``(vocab, dim)``."""
+
+    def __init__(self, num_embeddings: int, dim: int):
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight = Parameter(init.normal((num_embeddings, dim), std=0.02))
+
+    def forward(self, token_ids: np.ndarray) -> Tensor:
+        token_ids = np.asarray(token_ids)
+        if token_ids.min(initial=0) < 0 or token_ids.max(initial=0) >= self.num_embeddings:
+            raise IndexError("token id out of range")
+        return self.weight.take(token_ids, axis=0)
+
+
+class PositionalEncoding(Module):
+    """Learnable positional embeddings (paper: ``I0 = I + PE``)."""
+
+    def __init__(self, max_length: int, dim: int):
+        super().__init__()
+        self.max_length = max_length
+        self.weight = Parameter(init.normal((max_length, dim), std=0.02))
+
+    def forward(self, x: Tensor) -> Tensor:
+        length = x.shape[-2]
+        if length > self.max_length:
+            raise ValueError(
+                f"sequence length {length} exceeds max_length {self.max_length}"
+            )
+        return x + self.weight[:length]
+
+
+class SinusoidalPositionalEncoding(Module):
+    """Fixed sin/cos positional table (used by UniTime-style baseline)."""
+
+    def __init__(self, max_length: int, dim: int):
+        super().__init__()
+        position = np.arange(max_length)[:, None]
+        div = np.exp(np.arange(0, dim, 2) * (-np.log(10000.0) / dim))
+        table = np.zeros((max_length, dim), dtype=np.float32)
+        table[:, 0::2] = np.sin(position * div)
+        table[:, 1::2] = np.cos(position * div)
+        self.table = table
+        self.max_length = max_length
+
+    def forward(self, x: Tensor) -> Tensor:
+        length = x.shape[-2]
+        return x + Tensor(self.table[:length])

@@ -1,0 +1,72 @@
+"""Weight initialization schemes.
+
+A process-wide seeded generator keeps model construction reproducible;
+call :func:`seed_everything` before building models in experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "seed_everything",
+    "default_rng",
+    "xavier_uniform",
+    "xavier_normal",
+    "kaiming_uniform",
+    "normal",
+    "zeros",
+    "ones",
+]
+
+_RNG = np.random.default_rng(0)
+
+
+def seed_everything(seed: int) -> None:
+    """Reset the global initialization RNG (and numpy's legacy RNG)."""
+    global _RNG
+    _RNG = np.random.default_rng(seed)
+    np.random.seed(seed % (2**32))
+
+
+def default_rng() -> np.random.Generator:
+    """The generator used by all initializers."""
+    return _RNG
+
+
+def xavier_uniform(shape: tuple[int, ...], gain: float = 1.0) -> np.ndarray:
+    fan_in, fan_out = _fans(shape)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return _RNG.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def xavier_normal(shape: tuple[int, ...], gain: float = 1.0) -> np.ndarray:
+    fan_in, fan_out = _fans(shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return (_RNG.standard_normal(shape) * std).astype(np.float32)
+
+
+def kaiming_uniform(shape: tuple[int, ...]) -> np.ndarray:
+    fan_in, _ = _fans(shape)
+    bound = np.sqrt(3.0 / fan_in)
+    return _RNG.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def normal(shape: tuple[int, ...], std: float = 0.02) -> np.ndarray:
+    return (_RNG.standard_normal(shape) * std).astype(np.float32)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape, dtype=np.float32)
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_in = int(np.prod(shape[1:]))
+    fan_out = shape[0]
+    return fan_in, fan_out

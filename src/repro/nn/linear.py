@@ -1,0 +1,40 @@
+"""Affine layers."""
+
+from __future__ import annotations
+
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor
+
+__all__ = ["Linear"]
+
+
+class Linear(Module):
+    """Affine map ``y = x @ W + b`` applied over the trailing axis.
+
+    Parameters
+    ----------
+    in_features / out_features:
+        Trailing-axis widths of the input and output.
+    bias:
+        Include the additive bias term.
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features)))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x.matmul(self.weight)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Linear(in={self.in_features}, out={self.out_features}, "
+            f"bias={self.bias is not None})"
+        )

@@ -1,0 +1,46 @@
+"""Normalization layers: LayerNorm (paper Eq. 6) and RMSNorm (LLaMA-style)."""
+
+from __future__ import annotations
+
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor
+
+__all__ = ["LayerNorm", "RMSNorm"]
+
+
+class LayerNorm(Module):
+    """Layer normalization over the trailing axis.
+
+    Implements ``gamma * (x - mu) / (sigma + eps) + beta`` exactly as the
+    paper's Eq. 6 (note the paper normalizes by ``sigma + eps`` rather
+    than ``sqrt(var + eps)``; we use the conventional variance form which
+    is numerically equivalent up to the epsilon placement).
+    """
+
+    def __init__(self, features: int, eps: float = 1e-5):
+        super().__init__()
+        self.features = features
+        self.eps = eps
+        self.gamma = Parameter(init.ones((features,)))
+        self.beta = Parameter(init.zeros((features,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mu = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        normalized = (x - mu) / (var + self.eps).sqrt()
+        return normalized * self.gamma + self.beta
+
+
+class RMSNorm(Module):
+    """Root-mean-square normalization used by the LLaMA-style backbone."""
+
+    def __init__(self, features: int, eps: float = 1e-6):
+        super().__init__()
+        self.features = features
+        self.eps = eps
+        self.gamma = Parameter(init.ones((features,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        ms = (x * x).mean(axis=-1, keepdims=True)
+        return x / (ms + self.eps).sqrt() * self.gamma

@@ -1,0 +1,69 @@
+"""Learning-rate schedulers."""
+
+from __future__ import annotations
+
+import math
+
+from .optim import Optimizer
+
+__all__ = ["LRScheduler", "StepLR", "CosineAnnealingLR", "WarmupCosineLR"]
+
+
+class LRScheduler:
+    """Base scheduler; call :meth:`step` once per epoch (or iteration)."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def get_lr(self) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        self.epoch += 1
+        lr = self.get_lr()
+        self.optimizer.lr = lr
+        return lr
+
+
+class StepLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5):
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma ** (self.epoch // self.step_size)
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base LR to ``min_lr`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, min_lr: float = 0.0):
+        super().__init__(optimizer)
+        self.t_max = max(1, t_max)
+        self.min_lr = min_lr
+
+    def get_lr(self) -> float:
+        progress = min(self.epoch, self.t_max) / self.t_max
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine
+
+
+class WarmupCosineLR(CosineAnnealingLR):
+    """Linear warmup followed by cosine decay (used for LM pretraining)."""
+
+    def __init__(self, optimizer: Optimizer, warmup: int, t_max: int,
+                 min_lr: float = 0.0):
+        super().__init__(optimizer, t_max=t_max, min_lr=min_lr)
+        self.warmup = max(1, warmup)
+
+    def get_lr(self) -> float:
+        if self.epoch <= self.warmup:
+            return self.base_lr * self.epoch / self.warmup
+        progress = min(self.epoch - self.warmup, self.t_max) / self.t_max
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine

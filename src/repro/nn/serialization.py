@@ -1,0 +1,29 @@
+"""Save / load module weights as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_module", "load_module"]
+
+
+def save_module(module: Module, path: str) -> None:
+    """Serialize ``module.state_dict()`` to ``path`` (npz)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    state = module.state_dict()
+    np.savez(path, **state)
+
+
+def load_module(module: Module, path: str) -> Module:
+    """Load weights saved by :func:`save_module` into ``module``."""
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    module.load_state_dict(state)
+    return module

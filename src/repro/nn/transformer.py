@@ -1,0 +1,107 @@
+"""Pre-LN Transformer encoder (Xiong et al. 2020).
+
+Both the privileged Transformer ``PTEncoder`` (teacher, paper Eq. 10-14)
+and the time-series Transformer ``TSTEncoder`` (student, Eq. 19-23) are
+instances of :class:`TransformerEncoder`: same structure, separate
+weights, as the paper specifies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .attention import MultiHeadAttention
+from .dropout import Dropout
+from .functional import gelu, relu
+from .linear import Linear
+from .module import Module, ModuleList
+from .norm import LayerNorm
+from .tensor import Tensor
+
+__all__ = ["FeedForward", "PreLNEncoderLayer", "TransformerEncoder"]
+
+
+class FeedForward(Module):
+    """Position-wise two-layer FFN (paper Eq. 7)."""
+
+    def __init__(self, dim: int, hidden_dim: int, activation: str = "relu",
+                 dropout: float = 0.0):
+        super().__init__()
+        if activation not in ("relu", "gelu"):
+            raise ValueError(f"unknown activation {activation!r}")
+        self.fc1 = Linear(dim, hidden_dim)
+        self.fc2 = Linear(hidden_dim, dim)
+        self.activation = activation
+        self.dropout = Dropout(dropout)
+
+    def forward(self, x: Tensor) -> Tensor:
+        act = relu if self.activation == "relu" else gelu
+        return self.fc2(self.dropout(act(self.fc1(x))))
+
+
+class PreLNEncoderLayer(Module):
+    """One Pre-LN encoder block: LN→MHA→residual, LN→FFN→residual."""
+
+    def __init__(self, dim: int, num_heads: int, ffn_dim: int,
+                 activation: str = "relu", dropout: float = 0.0):
+        super().__init__()
+        self.norm1 = LayerNorm(dim)
+        self.attention = MultiHeadAttention(dim, num_heads)
+        self.norm2 = LayerNorm(dim)
+        self.ffn = FeedForward(dim, ffn_dim, activation=activation, dropout=dropout)
+        self.dropout = Dropout(dropout)
+
+    def forward(self, x: Tensor, attn_bias: np.ndarray | None = None,
+                return_weights: bool = False):
+        normed = self.norm1(x)
+        if return_weights:
+            attended, weights = self.attention(
+                normed, attn_bias=attn_bias, return_weights=True)
+        else:
+            attended = self.attention(normed, attn_bias=attn_bias)
+            weights = None
+        x = x + self.dropout(attended)
+        x = x + self.dropout(self.ffn(self.norm2(x)))
+        if return_weights:
+            return x, weights
+        return x
+
+
+class TransformerEncoder(Module):
+    """Stack of Pre-LN encoder layers with a final LayerNorm.
+
+    The forward pass can expose the head-averaged attention map of the
+    *last* layer, which is exactly what TimeKD's correlation distillation
+    consumes (paper Section IV-D1).
+    """
+
+    def __init__(self, dim: int, num_heads: int, num_layers: int,
+                 ffn_dim: int | None = None, activation: str = "relu",
+                 dropout: float = 0.0):
+        super().__init__()
+        ffn_dim = ffn_dim or 4 * dim
+        self.layers = ModuleList([
+            PreLNEncoderLayer(dim, num_heads, ffn_dim,
+                              activation=activation, dropout=dropout)
+            for _ in range(num_layers)
+        ])
+        self.final_norm = LayerNorm(dim)
+
+    def forward(self, x: Tensor, attn_bias: np.ndarray | None = None,
+                return_attention: bool = False):
+        """Encode ``x``; optionally return the last layer's attention map.
+
+        Returns ``encoded`` or ``(encoded, attention)`` where
+        ``attention`` is a differentiable ``(batch, seq, seq)`` tensor.
+        """
+        attention = None
+        last = len(self.layers) - 1
+        for i, layer in enumerate(self.layers):
+            if return_attention and i == last:
+                x, attention = layer(x, attn_bias=attn_bias, return_weights=True)
+            else:
+                x = layer(x, attn_bias=attn_bias)
+        x = self.final_norm(x)
+        if return_attention:
+            return x, attention
+        return x

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite.
+
+Expensive objects (pretrained backbone, prepared datasets) are session-
+scoped so each test stays fast on the 1-CPU substrate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset, make_forecasting_data
+from repro.llm import CalibratedLanguageModel, Vocabulary, build_backbone, pretrain_backbone
+
+
+@pytest.fixture(scope="session")
+def vocab() -> Vocabulary:
+    return Vocabulary()
+
+
+@pytest.fixture(scope="session")
+def tiny_backbone(vocab):
+    """A briefly pretrained gpt2-tiny backbone shared across tests."""
+    model = build_backbone("gpt2-tiny", vocab=vocab)
+    pretrain_backbone(model, vocab=vocab, steps=25, batch_size=4)
+    return model
+
+
+@pytest.fixture(scope="session")
+def tiny_clm(tiny_backbone):
+    return CalibratedLanguageModel(tiny_backbone, delta=1.0)
+
+
+@pytest.fixture(scope="session")
+def ett_data():
+    """Small ETTm1 forecasting data: history 96, horizon 24."""
+    series = load_dataset("ETTm1", length=700)
+    return make_forecasting_data(series, history_length=96, horizon=24)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)

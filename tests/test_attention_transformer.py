@@ -1,0 +1,116 @@
+"""Tests for attention and the Pre-LN transformer encoder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import MultiHeadAttention, Tensor, TransformerEncoder, causal_mask
+from repro.nn.attention import NEG_INF
+from repro.nn.transformer import FeedForward, PreLNEncoderLayer
+
+
+class TestCausalMask:
+    def test_structure(self):
+        mask = causal_mask(4)
+        assert mask.shape == (4, 4)
+        assert (mask[np.tril_indices(4)] == 0).all()
+        assert (mask[np.triu_indices(4, k=1)] == NEG_INF).all()
+
+
+class TestMultiHeadAttention:
+    def test_self_attention_shape(self):
+        mha = MultiHeadAttention(dim=16, num_heads=4)
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 5, 16)).astype(np.float32))
+        assert mha(x).shape == (2, 5, 16)
+
+    def test_indivisible_heads_raises(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(dim=10, num_heads=3)
+
+    def test_weights_are_distribution_and_differentiable(self):
+        mha = MultiHeadAttention(dim=8, num_heads=2)
+        x = Tensor(np.random.default_rng(1).normal(size=(1, 4, 8)).astype(np.float32),
+                   requires_grad=True)
+        out, weights = mha(x, return_weights=True)
+        np.testing.assert_allclose(weights.data.sum(axis=-1),
+                                   np.ones((1, 4)), atol=1e-5)
+        weights.sum().backward()  # must be differentiable (CD loss path)
+        assert x.grad is not None
+
+    def test_causal_bias_blocks_future(self):
+        mha = MultiHeadAttention(dim=8, num_heads=2)
+        x = Tensor(np.random.default_rng(2).normal(size=(1, 5, 8)).astype(np.float32))
+        _, weights = mha(x, attn_bias=causal_mask(5), return_weights=True)
+        upper = np.triu(weights.data[0], k=1)
+        np.testing.assert_allclose(upper, np.zeros_like(upper), atol=1e-6)
+
+    def test_cross_attention_shapes(self):
+        mha = MultiHeadAttention(dim=8, num_heads=2)
+        q = Tensor(np.zeros((2, 3, 8), np.float32))
+        kv = Tensor(np.zeros((2, 7, 8), np.float32))
+        assert mha(q, kv, kv).shape == (2, 3, 8)
+
+    def test_additive_bias_shifts_attention(self):
+        mha = MultiHeadAttention(dim=8, num_heads=1)
+        x = Tensor(np.random.default_rng(3).normal(size=(1, 3, 8)).astype(np.float32))
+        bias = np.zeros((3, 3), np.float32)
+        bias[:, 0] = 50.0  # force everyone to attend to token 0
+        _, weights = mha(x, attn_bias=bias, return_weights=True)
+        np.testing.assert_allclose(weights.data[0, :, 0],
+                                   np.ones(3), atol=1e-3)
+
+    def test_permutation_equivariance_without_positions(self):
+        """Self-attention (no positional encoding) is permutation-equivariant."""
+        mha = MultiHeadAttention(dim=8, num_heads=2)
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(1, 5, 8)).astype(np.float32)
+        perm = rng.permutation(5)
+        out = mha(Tensor(x)).data
+        out_perm = mha(Tensor(x[:, perm])).data
+        np.testing.assert_allclose(out[:, perm], out_perm, atol=1e-5)
+
+
+class TestTransformerEncoder:
+    def test_forward_shape_and_attention(self):
+        enc = TransformerEncoder(dim=16, num_heads=2, num_layers=3)
+        x = Tensor(np.random.default_rng(5).normal(size=(2, 6, 16)).astype(np.float32))
+        out, attn = enc(x, return_attention=True)
+        assert out.shape == (2, 6, 16)
+        assert attn.shape == (2, 6, 6)
+
+    def test_gradients_reach_all_parameters(self):
+        enc = TransformerEncoder(dim=8, num_heads=2, num_layers=2)
+        x = Tensor(np.random.default_rng(6).normal(size=(1, 4, 8)).astype(np.float32))
+        enc(x).sum().backward()
+        missing = [n for n, p in enc.named_parameters() if p.grad is None]
+        assert not missing, f"no grad for {missing}"
+
+    def test_feedforward_activations(self):
+        for act in ("relu", "gelu"):
+            ffn = FeedForward(8, 16, activation=act)
+            out = ffn(Tensor(np.random.default_rng(7).normal(
+                size=(2, 8)).astype(np.float32)))
+            assert out.shape == (2, 8)
+        with pytest.raises(ValueError):
+            FeedForward(8, 16, activation="tanh")
+
+    def test_residual_path_identity_at_zero_weights(self):
+        """Zeroing attention/FFN output weights leaves residual stream."""
+        layer = PreLNEncoderLayer(8, 2, 16)
+        layer.attention.out_proj.weight.data[:] = 0
+        layer.attention.out_proj.bias.data[:] = 0
+        layer.ffn.fc2.weight.data[:] = 0
+        layer.ffn.fc2.bias.data[:] = 0
+        x = Tensor(np.random.default_rng(8).normal(size=(1, 3, 8)).astype(np.float32))
+        np.testing.assert_allclose(layer(x).data, x.data, atol=1e-6)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 3), st.integers(2, 8))
+    def test_output_finite_for_random_inputs(self, seed, layers, seq):
+        enc = TransformerEncoder(dim=8, num_heads=2, num_layers=layers)
+        x = Tensor(np.random.default_rng(seed).normal(
+            scale=5.0, size=(1, seq, 8)).astype(np.float32))
+        assert np.isfinite(enc(x).data).all()

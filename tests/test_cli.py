@@ -1,0 +1,55 @@
+"""Tests for the command-line interface and multi-seed helper."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.experiments.common import ExperimentScale, prepare_data, run_model_seeds
+
+MICRO_ARGS = ["--length", "500", "--epochs", "1", "--d-model", "16"]
+
+
+class TestCLI:
+    def test_train_and_evaluate(self, tmp_path, capsys):
+        out = os.path.join(tmp_path, "student.npz")
+        code = main(["train", "--dataset", "ETTm1", "--horizon", "12",
+                     "--out", out] + MICRO_ARGS)
+        assert code == 0
+        assert os.path.exists(out)
+        assert "test MSE=" in capsys.readouterr().out
+
+        code = main(["evaluate", "--dataset", "ETTm1", "--horizon", "12",
+                     "--weights", out] + MICRO_ARGS)
+        assert code == 0
+        assert "test MSE=" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        code = main(["compare", "--dataset", "Exchange", "--horizon", "12",
+                     "--models", "iTransformer", "PatchTST"] + MICRO_ARGS)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "iTransformer" in out and "PatchTST" in out
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["train", "--dataset", "NotADataset"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestMultiSeed:
+    def test_run_model_seeds_aggregates(self):
+        scale = ExperimentScale(
+            data_length=500, d_model=16, num_heads=2, num_layers=1,
+            ffn_dim=32, epochs=1, teacher_epochs=1, batch_size=8,
+            max_batches=2, llm_pretrain_steps=10, prompt_value_stride=8)
+        data = prepare_data("Exchange", 12, scale)
+        row = run_model_seeds("iTransformer", data, scale, seeds=(0, 1))
+        assert set(row) == {"model", "mse", "mae", "mse_std", "mae_std"}
+        assert np.isfinite(row["mse"]) and row["mse_std"] >= 0.0

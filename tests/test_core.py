@@ -1,0 +1,273 @@
+"""Tests for the TimeKD framework components (repro.core)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    EmbeddingStore,
+    PlainSubtraction,
+    RevIN,
+    StudentModel,
+    SubtractiveCrossAttention,
+    TimeKDConfig,
+    correlation_distillation_loss,
+    feature_distillation_loss,
+    pkd_loss,
+)
+from repro.core.teacher import CrossModalityTeacher
+from repro.nn import Tensor
+
+
+def tiny_config(**overrides) -> TimeKDConfig:
+    base = TimeKDConfig(
+        history_length=32, horizon=8, num_variables=3,
+        d_model=16, num_heads=2, num_layers=1, ffn_dim=32,
+        teacher_epochs=1, student_epochs=1, batch_size=4,
+        max_batches_per_epoch=2, llm_pretrain_steps=10,
+        prompt_value_stride=4,
+    )
+    return base.with_updates(**overrides) if overrides else base
+
+
+class TestConfig:
+    def test_ablation_switches(self):
+        cfg = tiny_config()
+        assert not cfg.ablation("w/o PI").use_privileged_info
+        assert cfg.ablation("CA").calibration_delta == 0.0
+        assert not cfg.ablation("clm").use_clm
+        assert not cfg.ablation("w/o SCA").use_sca
+        assert not cfg.ablation("cd").use_correlation_distillation
+        assert not cfg.ablation("fd").use_feature_distillation
+
+    def test_unknown_ablation_raises(self):
+        with pytest.raises(KeyError):
+            tiny_config().ablation("w/o XYZ")
+
+    def test_with_updates_is_functional(self):
+        cfg = tiny_config()
+        other = cfg.with_updates(horizon=99)
+        assert cfg.horizon == 8 and other.horizon == 99
+
+
+class TestRevIN:
+    def test_normalize_zero_mean_unit_var(self):
+        revin = RevIN(num_variables=3, affine=False)
+        x = Tensor(np.random.default_rng(0).normal(
+            5.0, 3.0, size=(2, 20, 3)).astype(np.float32))
+        out = revin.normalize(x).data
+        np.testing.assert_allclose(out.mean(axis=1), np.zeros((2, 3)), atol=1e-4)
+        np.testing.assert_allclose(out.std(axis=1), np.ones((2, 3)), atol=1e-2)
+
+    def test_denormalize_inverts(self):
+        revin = RevIN(num_variables=2)
+        x = Tensor(np.random.default_rng(1).normal(
+            -2.0, 4.0, size=(3, 16, 2)).astype(np.float32))
+        recovered = revin.denormalize(revin.normalize(x)).data
+        np.testing.assert_allclose(recovered, x.data, atol=1e-3)
+
+    def test_denormalize_before_normalize_raises(self):
+        revin = RevIN(2)
+        with pytest.raises(RuntimeError):
+            revin.denormalize(Tensor(np.zeros((1, 4, 2), np.float32)))
+
+    def test_forward_mode_dispatch(self):
+        revin = RevIN(2)
+        x = Tensor(np.random.default_rng(2).normal(size=(1, 8, 2)).astype(np.float32))
+        revin(x, mode="norm")
+        revin(x, mode="denorm")
+        with pytest.raises(ValueError):
+            revin(x, mode="bogus")
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_roundtrip_property(self, seed):
+        revin = RevIN(3, affine=True)
+        rng = np.random.default_rng(seed)
+        x = Tensor((rng.normal(size=(2, 12, 3)) * rng.uniform(0.5, 5)
+                    + rng.normal()).astype(np.float32))
+        recovered = revin.denormalize(revin.normalize(x)).data
+        np.testing.assert_allclose(recovered, x.data, atol=1e-2)
+
+
+class TestSCA:
+    def test_output_shape(self):
+        sca = SubtractiveCrossAttention(dim=16)
+        gt = Tensor(np.random.default_rng(0).normal(size=(2, 5, 16)).astype(np.float32))
+        hd = Tensor(np.random.default_rng(1).normal(size=(2, 5, 16)).astype(np.float32))
+        out = sca(gt, hd)
+        assert out.shape == (2, 5, 16)
+        assert sca.last_similarity.shape == (2, 16, 16)
+
+    def test_similarity_rows_are_distributions(self):
+        sca = SubtractiveCrossAttention(dim=8)
+        gt = Tensor(np.random.default_rng(2).normal(size=(1, 4, 8)).astype(np.float32))
+        hd = Tensor(np.random.default_rng(3).normal(size=(1, 4, 8)).astype(np.float32))
+        sca(gt, hd)
+        np.testing.assert_allclose(
+            sca.last_similarity.sum(axis=-1), np.ones((1, 8)), atol=1e-5)
+
+    def test_gradients_flow_to_both_inputs(self):
+        sca = SubtractiveCrossAttention(dim=8)
+        gt = Tensor(np.random.default_rng(4).normal(size=(1, 3, 8)).astype(np.float32),
+                    requires_grad=True)
+        hd = Tensor(np.random.default_rng(5).normal(size=(1, 3, 8)).astype(np.float32),
+                    requires_grad=True)
+        sca(gt, hd).sum().backward()
+        assert gt.grad is not None and hd.grad is not None
+
+    def test_plain_subtraction_ablation(self):
+        plain = PlainSubtraction(dim=8)
+        gt = Tensor(np.ones((1, 3, 8), np.float32))
+        hd = Tensor(np.ones((1, 3, 8), np.float32))
+        out = plain(gt, hd).data
+        # identical inputs subtract to zero, LayerNorm keeps it bounded
+        assert np.abs(out).max() < 10.0
+
+
+class TestDistillationLosses:
+    def test_zero_when_identical(self):
+        attn = np.random.default_rng(0).dirichlet(np.ones(4), size=(2, 4))
+        student = Tensor(attn.astype(np.float32), requires_grad=True)
+        loss = correlation_distillation_loss(attn, student)
+        assert loss.item() == 0.0
+
+    def test_student_receives_gradient(self):
+        teacher = np.zeros((1, 3, 3), np.float32)
+        student = Tensor(np.ones((1, 3, 3), np.float32), requires_grad=True)
+        correlation_distillation_loss(teacher, student).backward()
+        assert student.grad is not None and np.abs(student.grad).sum() > 0
+
+    def test_feature_distillation_symmetric_in_magnitude(self):
+        t = np.zeros((2, 3, 4), np.float32)
+        s_pos = Tensor(np.full((2, 3, 4), 0.5, np.float32))
+        s_neg = Tensor(np.full((2, 3, 4), -0.5, np.float32))
+        assert feature_distillation_loss(t, s_pos).item() == pytest.approx(
+            feature_distillation_loss(t, s_neg).item())
+
+    def test_pkd_respects_ablation_switches(self):
+        cfg = tiny_config(use_correlation_distillation=False,
+                          use_feature_distillation=False)
+        loss = pkd_loss(cfg, np.ones((1, 2, 2)), np.ones((1, 2, 4)),
+                        Tensor(np.zeros((1, 2, 2), np.float32)),
+                        Tensor(np.zeros((1, 2, 4), np.float32)))
+        assert loss.item() == 0.0
+
+    def test_pkd_weights_scale_loss(self):
+        cfg1 = tiny_config(lambda_correlation=1.0, lambda_feature=0.0)
+        cfg2 = tiny_config(lambda_correlation=2.0, lambda_feature=0.0)
+        args = (np.ones((1, 2, 2)), np.ones((1, 2, 4)),
+                Tensor(np.zeros((1, 2, 2), np.float32)),
+                Tensor(np.zeros((1, 2, 4), np.float32)))
+        assert pkd_loss(cfg2, *args).item() == pytest.approx(
+            2 * pkd_loss(cfg1, *args).item())
+
+    def test_joint_mode_gradient_reaches_teacher(self):
+        teacher = Tensor(np.ones((1, 2, 2), np.float32), requires_grad=True)
+        student = Tensor(np.zeros((1, 2, 2), np.float32), requires_grad=True)
+        correlation_distillation_loss(
+            teacher, student, detach_teacher=False).backward()
+        assert teacher.grad is not None
+
+
+class TestEmbeddingStore:
+    def test_put_get(self):
+        store = EmbeddingStore()
+        store.put(3, np.ones((2, 4)), np.zeros((2, 4)))
+        gt, hd = store.get(3)
+        assert gt.shape == (2, 4) and hd.shape == (2, 4)
+
+    def test_get_batch_computes_missing_once(self):
+        store = EmbeddingStore()
+        calls = []
+
+        def compute(missing):
+            calls.append(list(missing))
+            n = len(missing)
+            return np.ones((n, 2, 4)), np.zeros((n, 2, 4))
+
+        store.get_batch(np.array([0, 1]), compute)
+        store.get_batch(np.array([1, 2]), compute)
+        assert calls == [[0, 1], [2]]
+
+    def test_none_gt_supported(self):
+        store = EmbeddingStore()
+
+        def compute(missing):
+            return None, np.zeros((len(missing), 2, 4))
+
+        gt, hd = store.get_batch(np.array([0]), compute)
+        assert gt is None and hd.shape == (1, 2, 4)
+
+    def test_clear(self):
+        store = EmbeddingStore()
+        store.put(0, None, np.zeros((1, 1)))
+        store.clear()
+        assert len(store) == 0
+
+
+class TestStudentModel:
+    def test_forward_shapes(self):
+        cfg = tiny_config()
+        student = StudentModel(cfg)
+        out = student(np.random.default_rng(0).normal(
+            size=(2, 32, 3)).astype(np.float32))
+        assert out.prediction.shape == (2, 8, 3)
+        assert out.features.shape == (2, 3, cfg.d_model)
+        assert out.attention.shape == (2, 3, 3)
+
+    def test_accepts_single_window(self):
+        student = StudentModel(tiny_config())
+        out = student(np.zeros((32, 3), np.float32))
+        assert out.prediction.shape == (1, 8, 3)
+
+    def test_predict_is_nograd_numpy(self):
+        student = StudentModel(tiny_config())
+        pred = student.predict(np.zeros((1, 32, 3), np.float32))
+        assert isinstance(pred, np.ndarray)
+
+
+class TestTeacher:
+    def test_clm_required_when_enabled(self):
+        with pytest.raises(ValueError):
+            CrossModalityTeacher(tiny_config(), clm=None)
+
+    def test_value_path_shapes(self):
+        cfg = tiny_config(use_clm=False)
+        teacher = CrossModalityTeacher(cfg)
+        history = np.zeros((2, 32, 3), np.float32)
+        future = np.zeros((2, 8, 3), np.float32)
+        gt, hd = teacher.embed_values(history, future)
+        out = teacher(gt, hd)
+        assert out.reconstruction.shape == (2, 8, 3)
+        assert out.embeddings.shape == (2, 3, cfg.d_model)
+        assert out.attention.shape == (2, 3, 3)
+
+    def test_without_privileged_info_ignores_gt(self):
+        cfg = tiny_config(use_clm=False, use_privileged_info=False)
+        teacher = CrossModalityTeacher(cfg)
+        history = np.random.default_rng(0).normal(size=(1, 32, 3)).astype(np.float32)
+        future = np.random.default_rng(1).normal(size=(1, 8, 3)).astype(np.float32)
+        gt, hd = teacher.embed_values(history, future)
+        a = teacher(gt, hd).reconstruction.data
+        b = teacher(None, hd).reconstruction.data
+        np.testing.assert_allclose(a, b, atol=1e-6)
+
+    def test_clm_teacher_with_backbone(self, tiny_clm):
+        cfg = tiny_config()
+        teacher = CrossModalityTeacher(cfg, clm=tiny_clm)
+        from repro.data.prompts import PromptFactory
+        from repro.llm import Vocabulary
+
+        factory = PromptFactory(Vocabulary(), value_stride=4)
+        history = np.random.default_rng(2).normal(size=(32, 3))
+        future = np.random.default_rng(3).normal(size=(8, 3))
+        gt_p = factory.ground_truth(history, future)
+        hd_p = factory.historical(history, 8)
+        gt, hd = teacher.encode_prompts(gt_p, hd_p, num_variables=3)
+        assert gt.shape == (1, 3, tiny_clm.dim)
+        out = teacher(gt, hd)
+        assert out.reconstruction.shape == (1, 8, 3)

@@ -1,0 +1,202 @@
+"""Tests for datasets, scaling, windowing and loading (repro.data)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    DataLoader,
+    MultivariateTimeSeries,
+    StandardScaler,
+    WindowDataset,
+    dataset_names,
+    generate_ett,
+    generate_pems,
+    load_dataset,
+    make_forecasting_data,
+)
+
+
+class TestSeries:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            MultivariateTimeSeries(np.zeros(5))
+
+    def test_default_columns(self):
+        s = MultivariateTimeSeries(np.zeros((4, 3)))
+        assert s.columns == ["var0", "var1", "var2"]
+
+    def test_column_count_mismatch(self):
+        with pytest.raises(ValueError):
+            MultivariateTimeSeries(np.zeros((4, 3)), columns=["a"])
+
+    def test_slice_and_head_fraction(self):
+        s = MultivariateTimeSeries(np.arange(20.0).reshape(10, 2))
+        assert s.slice(2, 5).length == 3
+        assert s.head_fraction(0.5).length == 5
+        with pytest.raises(ValueError):
+            s.head_fraction(0.0)
+
+
+class TestGenerators:
+    def test_registry_shapes(self):
+        expected = {"ETTm1": 7, "ETTm2": 7, "ETTh1": 7, "ETTh2": 7,
+                    "Weather": 21, "Exchange": 8, "PEMS04": 32, "PEMS08": 24}
+        for name in dataset_names():
+            s = load_dataset(name, length=300)
+            assert s.num_variables == expected[name], name
+            assert s.length == 300
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("nope")
+
+    def test_deterministic_by_seed(self):
+        a = load_dataset("ETTm1", length=200)
+        b = load_dataset("ETTm1", length=200)
+        np.testing.assert_allclose(a.values, b.values)
+
+    def test_seed_offset_changes_data(self):
+        a = load_dataset("ETTm1", length=200)
+        b = load_dataset("ETTm1", length=200, seed_offset=5)
+        assert np.abs(a.values - b.values).max() > 1e-6
+
+    def test_ett_columns_and_periodicity(self):
+        s = generate_ett(length=960, frequency_minutes=15, seed=3)
+        assert s.columns[-1] == "OT"
+        hufl = s.values[:, 0]
+        steps_per_day = 96
+        # autocorrelation at one day lag should be clearly positive
+        a = hufl[:-steps_per_day] - hufl[:-steps_per_day].mean()
+        b = hufl[steps_per_day:] - hufl[steps_per_day:].mean()
+        corr = (a * b).mean() / (a.std() * b.std())
+        assert corr > 0.3
+
+    def test_ett_oil_couples_to_loads(self):
+        s = generate_ett(length=800, seed=1)
+        loads = s.values[:, :6].mean(axis=1)
+        oil = s.values[:, 6]
+        a = loads - loads.mean()
+        b = oil - oil.mean()
+        corr = abs((a * b).mean() / (a.std() * b.std()))
+        assert corr > 0.2
+
+    def test_pems_nonnegative_flows_mostly(self):
+        s = generate_pems(length=400, num_sensors=8, seed=4)
+        assert (s.values > -0.5).mean() > 0.99
+
+    def test_pems_neighbors_correlate(self):
+        s = generate_pems(length=600, num_sensors=12, seed=5)
+        flows = s.values - s.values.mean(axis=0)
+        corr = (flows.T @ flows) / len(flows)
+        std = np.sqrt(np.diag(corr))
+        corr = corr / np.outer(std, std)
+        off_diag = corr[~np.eye(12, dtype=bool)]
+        assert off_diag.mean() > 0.1  # shared daily demand + diffusion
+
+
+class TestScaler:
+    def test_fit_transform_standardizes(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(3.0, 2.0, size=(500, 4))
+        z = StandardScaler().fit_transform(x)
+        np.testing.assert_allclose(z.mean(axis=0), np.zeros(4), atol=1e-9)
+        np.testing.assert_allclose(z.std(axis=0), np.ones(4), atol=1e-9)
+
+    def test_use_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((3, 2)))
+
+    def test_constant_column_guard(self):
+        x = np.ones((10, 2))
+        z = StandardScaler().fit_transform(x)
+        assert np.isfinite(z).all()
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_inverse_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(50, 3)) * rng.uniform(0.5, 4.0)
+        scaler = StandardScaler().fit(x)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(x)), x, atol=1e-9)
+
+
+class TestWindows:
+    def test_window_contents(self):
+        values = np.arange(40.0).reshape(20, 2)
+        ds = WindowDataset(values, history_length=5, horizon=3)
+        history, future = ds[0]
+        np.testing.assert_allclose(history, values[:5])
+        np.testing.assert_allclose(future, values[5:8])
+
+    def test_length_formula(self):
+        ds = WindowDataset(np.zeros((20, 1)), 5, 3)
+        assert len(ds) == 20 - 5 - 3 + 1
+
+    def test_negative_index_and_bounds(self):
+        ds = WindowDataset(np.zeros((12, 1)), 4, 2)
+        ds[-1]
+        with pytest.raises(IndexError):
+            ds[len(ds)]
+
+    def test_too_short_series_raises(self):
+        with pytest.raises(ValueError):
+            WindowDataset(np.zeros((5, 1)), 4, 4)
+
+    def test_no_future_leakage_property(self):
+        """History window always strictly precedes its future window."""
+        values = np.arange(30.0).reshape(30, 1)
+        ds = WindowDataset(values, 6, 4)
+        for i in range(len(ds)):
+            history, future = ds[i]
+            assert history[-1, 0] < future[0, 0]
+
+    def test_splits_are_chronological(self):
+        series = load_dataset("ETTm1", length=500)
+        data = make_forecasting_data(series, history_length=48, horizon=12)
+        # first test window history may extend into val, but no further back
+        assert len(data.train) > 0 and len(data.val) > 0 and len(data.test) > 0
+
+    def test_scaler_fit_on_train_only(self):
+        series = load_dataset("ETTm1", length=600)
+        data = make_forecasting_data(series, history_length=48, horizon=12)
+        train_end = int(600 * 0.7)
+        expected_mean = series.values[:train_end].mean(axis=0)
+        np.testing.assert_allclose(data.scaler.mean, expected_mean)
+
+    def test_train_fraction_reduces_windows(self):
+        series = load_dataset("ETTm1", length=900)
+        full = make_forecasting_data(series, 96, 24)
+        tiny = make_forecasting_data(series, 96, 24, train_fraction=0.2)
+        assert len(tiny.train) < len(full.train)
+        assert len(tiny.test) == len(full.test)
+
+    def test_bad_splits_raise(self):
+        series = load_dataset("ETTm1", length=400)
+        with pytest.raises(ValueError):
+            make_forecasting_data(series, 48, 12, splits=(0.5, 0.2, 0.2))
+
+
+class TestLoader:
+    def test_batches_cover_dataset(self):
+        ds = WindowDataset(np.zeros((40, 2)), 6, 2)
+        loader = DataLoader(ds, batch_size=8)
+        seen = sum(h.shape[0] for h, _ in loader)
+        assert seen == len(ds)
+
+    def test_max_batches_caps(self):
+        ds = WindowDataset(np.zeros((60, 2)), 6, 2)
+        loader = DataLoader(ds, batch_size=4, max_batches=3)
+        assert len(list(loader)) == 3
+        assert len(loader) == 3
+
+    def test_shuffle_is_seeded(self):
+        ds = WindowDataset(np.arange(60.0).reshape(30, 2), 4, 2)
+        a = [h.copy() for h, _ in DataLoader(ds, 4, shuffle=True, seed=1)]
+        b = [h.copy() for h, _ in DataLoader(ds, 4, shuffle=True, seed=1)]
+        for x, y in zip(a, b):
+            np.testing.assert_allclose(x, y)

@@ -1,0 +1,131 @@
+"""Tests for metrics, efficiency probes and result formatting."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import (
+    best_by,
+    forecast_metrics,
+    format_table,
+    mae,
+    mape,
+    measure_efficiency,
+    mse,
+    relative_improvement,
+    rmse,
+    save_csv,
+    smape,
+)
+
+
+class TestMetrics:
+    def test_zero_error(self):
+        x = np.random.default_rng(0).normal(size=(4, 5))
+        assert mse(x, x) == 0.0
+        assert mae(x, x) == 0.0
+        assert rmse(x, x) == 0.0
+
+    def test_known_values(self):
+        p = np.array([1.0, 2.0])
+        t = np.array([0.0, 0.0])
+        assert mse(p, t) == pytest.approx(2.5)
+        assert mae(p, t) == pytest.approx(1.5)
+        assert rmse(p, t) == pytest.approx(np.sqrt(2.5))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros(3), np.zeros(4))
+
+    def test_mape_guards_zero_targets(self):
+        assert np.isfinite(mape(np.ones(3), np.zeros(3)))
+
+    def test_smape_bounded(self):
+        rng = np.random.default_rng(1)
+        value = smape(rng.normal(size=100), rng.normal(size=100))
+        assert 0.0 <= value <= 2.0
+
+    def test_forecast_metrics_keys(self):
+        out = forecast_metrics(np.ones(4), np.zeros(4))
+        assert set(out) == {"mse", "mae", "rmse", "smape"}
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_rmse_is_sqrt_mse(self, seed):
+        rng = np.random.default_rng(seed)
+        p, t = rng.normal(size=10), rng.normal(size=10)
+        assert rmse(p, t) == pytest.approx(np.sqrt(mse(p, t)))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_mae_le_rmse(self, seed):
+        """Jensen: MAE <= RMSE always."""
+        rng = np.random.default_rng(seed)
+        p, t = rng.normal(size=20), rng.normal(size=20)
+        assert mae(p, t) <= rmse(p, t) + 1e-12
+
+
+class TestEfficiency:
+    def test_measures_all_fields(self):
+        report = measure_efficiency(
+            "toy", trainable_params=1_500_000,
+            train_epoch=lambda: np.zeros((256, 256)).sum(),
+            infer_once=lambda: None, inference_repeats=2)
+        row = report.as_row()
+        assert row["model"] == "toy"
+        assert row["trainable_params_M"] == 1.5
+        assert row["train_s_per_epoch"] >= 0
+        assert row["memory_MiB"] >= 0
+        assert row["inference_s_per_iter"] >= 0
+
+    def test_memory_scales_with_allocation(self):
+        small = measure_efficiency(
+            "s", 0, lambda: np.zeros((64, 64)).sum(), lambda: None)
+        big = measure_efficiency(
+            "b", 0, lambda: np.zeros((2048, 2048)).sum(), lambda: None)
+        assert big.peak_memory_mib > small.peak_memory_mib
+
+
+class TestResults:
+    ROWS = [
+        {"model": "A", "mse": 0.5, "dataset": "X"},
+        {"model": "B", "mse": 0.3, "dataset": "X"},
+        {"model": "A", "mse": 0.9, "dataset": "Y"},
+        {"model": "B", "mse": 1.0, "dataset": "Y"},
+    ]
+
+    def test_format_table_contains_all_cells(self):
+        table = format_table(self.ROWS, title="T")
+        assert "T" in table and "model" in table
+        assert "0.5000" in table and "1.0000" in table
+
+    def test_format_empty(self):
+        assert "empty" in format_table([], title="none")
+
+    def test_save_csv_roundtrip(self, tmp_path):
+        path = save_csv(self.ROWS, os.path.join(tmp_path, "out.csv"))
+        with open(path) as fh:
+            lines = fh.read().strip().splitlines()
+        assert lines[0] == "model,mse,dataset"
+        assert len(lines) == 5
+
+    def test_save_csv_empty_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_csv([], os.path.join(tmp_path, "x.csv"))
+
+    def test_best_by_global(self):
+        assert best_by(self.ROWS, "mse")["model"] == "B"
+
+    def test_best_by_grouped(self):
+        winners = best_by(self.ROWS, "mse", group="dataset")
+        assert winners["X"]["model"] == "B"
+        assert winners["Y"]["model"] == "A"
+
+    def test_relative_improvement(self):
+        assert relative_improvement(0.9, 1.0) == pytest.approx(0.1)
+        assert relative_improvement(1.0, 0.0) == 0.0

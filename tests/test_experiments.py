@@ -1,0 +1,127 @@
+"""Smoke tests for the experiment harness (micro scale).
+
+Each paper artefact's code path must run end-to-end and produce rows of
+the right shape.  A micro :class:`ExperimentScale` keeps this fast; the
+benchmarks exercise the quick scale and ``REPRO_FULL=1`` the paper grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+from repro.experiments.common import ExperimentScale, prepare_data, run_model
+
+MICRO = ExperimentScale(
+    data_length=500, d_model=16, num_heads=2, num_layers=1, ffn_dim=32,
+    epochs=1, teacher_epochs=1, batch_size=8, max_batches=2,
+    llm_pretrain_steps=10, prompt_value_stride=8,
+)
+
+
+class TestCommon:
+    def test_prepare_data_shapes(self):
+        data = prepare_data("ETTm1", 24, MICRO)
+        history, future = data.train[0]
+        assert history.shape == (96, 7)
+        assert future.shape == (24, 7)
+
+    @pytest.mark.parametrize("name", ["TimeKD", "iTransformer", "PatchTST"])
+    def test_run_model_row_schema(self, name):
+        data = prepare_data("ETTm1", 24, MICRO)
+        row = run_model(name, data, MICRO)
+        assert row["model"] == name
+        assert np.isfinite(row["mse"]) and np.isfinite(row["mae"])
+
+
+class TestTables:
+    def test_table1_grid(self):
+        rows = table1.run(scale=MICRO, datasets=["ETTm1"], horizons=[24],
+                          models=["TimeKD", "iTransformer"])
+        assert len(rows) == 2
+        assert {r["model"] for r in rows} == {"TimeKD", "iTransformer"}
+        assert all(r["dataset"] == "ETTm1" and r["horizon"] == 24
+                   for r in rows)
+
+    def test_table2_pems(self):
+        rows = table2.run(scale=MICRO, datasets=["PEMS08"],
+                          models=["TimeKD", "iTransformer"])
+        assert len(rows) == 2
+        assert all(r["horizon"] == 12 for r in rows)
+
+    def test_table3_backbones(self):
+        rows = table3.run(scale=MICRO, backbones=["bert-tiny", "gpt2-tiny"])
+        assert len(rows) == 2
+        sizes = [r["model_size_M"] for r in rows]
+        assert sizes[0] < sizes[1]  # bert < gpt2
+
+    def test_table4_efficiency(self):
+        rows = table4.run(scale=MICRO, models=["TimeKD", "iTransformer"])
+        assert len(rows) == 2
+        for row in rows:
+            assert row["trainable_params_M"] > 0
+            assert row["inference_s_per_iter"] > 0
+
+    def test_table5_fewshot(self):
+        rows = table5.run(scale=MICRO, datasets=["ETTm1"],
+                          models=["TimeKD", "iTransformer"])
+        assert all(r["train_fraction"] == 0.1 for r in rows)
+
+    def test_table6_zeroshot(self):
+        rows = table6.run(scale=MICRO,
+                          transfers=[("ETTm1", "ETTm2")],
+                          models=["TimeKD", "iTransformer"])
+        assert len(rows) == 2
+        assert all(r["transfer"] == "ETTm1->ETTm2" for r in rows)
+        assert all(np.isfinite(r["mse"]) for r in rows)
+
+
+class TestFigures:
+    def test_figure6_variants(self):
+        rows = figure6.run(scale=MICRO, datasets=["ETTm1"],
+                           variants=["TimeKD", "w/o FD"])
+        assert {r["model"] for r in rows} == {"TimeKD", "w/o FD"}
+
+    def test_figure7_fractions(self):
+        rows = figure7.run(scale=MICRO, datasets=["ETTm1"],
+                           fractions=[0.5, 1.0])
+        fractions = [r["train_fraction"] for r in rows]
+        assert fractions == [0.5, 1.0]
+
+    def test_figure8_attention_maps(self):
+        maps = figure8.run(scale=MICRO)
+        assert maps["privileged"].shape == (7, 7)
+        assert maps["student"].shape == (7, 7)
+        np.testing.assert_allclose(maps["student"].sum(axis=-1),
+                                   np.ones(7), atol=1e-4)
+
+    def test_figure8_heatmap_rendering(self):
+        matrix = np.random.default_rng(0).random((3, 3))
+        art = figure8.render_heatmap(matrix, ["a", "b", "c"])
+        assert art.count("\n") == 2
+
+    def test_figure9_feature_maps(self):
+        maps = figure9.run(scale=MICRO)
+        for key in ("privileged", "student"):
+            matrix = maps[key]
+            assert matrix.shape == (7, 7)
+            np.testing.assert_allclose(matrix, matrix.T, atol=1e-4)
+
+    def test_figure10_series(self):
+        out = figure10.run(scale=MICRO)
+        assert out["prediction"].shape == out["ground_truth"].shape
+        assert out["prediction"].shape[1] == len(figure10.VARIABLES)
+        assert set(out["correlations"]) == set(figure10.VARIABLES)

@@ -1,0 +1,137 @@
+"""Tests for loss functions and activations (repro.nn.functional)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor
+from repro.nn.functional import (
+    cross_entropy,
+    gelu,
+    mae_loss,
+    mse_loss,
+    silu,
+    smooth_l1_loss,
+)
+
+
+class TestSmoothL1:
+    def test_quadratic_region(self):
+        p = Tensor(np.array([0.5], np.float32), requires_grad=True)
+        t = Tensor(np.array([0.0], np.float32))
+        loss = smooth_l1_loss(p, t)
+        np.testing.assert_allclose(loss.item(), 0.5 * 0.25, atol=1e-6)
+
+    def test_linear_region(self):
+        p = Tensor(np.array([3.0], np.float32))
+        t = Tensor(np.array([0.0], np.float32))
+        np.testing.assert_allclose(
+            smooth_l1_loss(p, t).item(), 3.0 - 0.5, atol=1e-6)
+
+    def test_continuous_at_boundary(self):
+        t = Tensor(np.array([0.0], np.float32))
+        just_below = smooth_l1_loss(Tensor(np.array([0.999], np.float32)), t)
+        just_above = smooth_l1_loss(Tensor(np.array([1.001], np.float32)), t)
+        assert abs(just_below.item() - just_above.item()) < 1e-2
+
+    def test_gradient_bounded_by_one(self):
+        p = Tensor(np.array([10.0, -10.0, 0.3], np.float32),
+                   requires_grad=True)
+        t = Tensor(np.zeros(3, np.float32))
+        smooth_l1_loss(p, t).backward()
+        assert np.abs(p.grad).max() <= 1.0 / 3 + 1e-6  # mean over 3 elems
+
+    def test_accepts_numpy_target(self):
+        p = Tensor(np.ones(4, np.float32), requires_grad=True)
+        loss = smooth_l1_loss(p, np.zeros(4, dtype=np.float32))
+        assert loss.item() > 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_zero_iff_equal(self, seed):
+        x = np.random.default_rng(seed).normal(size=(5,)).astype(np.float32)
+        loss = smooth_l1_loss(Tensor(x), Tensor(x.copy()))
+        assert loss.item() == 0.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_below_mae_and_mse_hybrid(self, seed):
+        """SmoothL1 <= MSE/2 + MAE pointwise bound (loose sanity)."""
+        rng = np.random.default_rng(seed)
+        p = Tensor(rng.normal(size=(6,)).astype(np.float32))
+        t = Tensor(rng.normal(size=(6,)).astype(np.float32))
+        sl1 = smooth_l1_loss(p, t).item()
+        assert sl1 <= mse_loss(p, t).item() / 2 + mae_loss(p, t).item() + 1e-6
+
+
+class TestMetricsLosses:
+    def test_mse_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        p = rng.normal(size=(4, 5)).astype(np.float32)
+        t = rng.normal(size=(4, 5)).astype(np.float32)
+        np.testing.assert_allclose(
+            mse_loss(Tensor(p), Tensor(t)).item(),
+            ((p - t) ** 2).mean(), rtol=1e-5)
+
+    def test_mae_matches_numpy(self):
+        rng = np.random.default_rng(1)
+        p = rng.normal(size=(4, 5)).astype(np.float32)
+        t = rng.normal(size=(4, 5)).astype(np.float32)
+        np.testing.assert_allclose(
+            mae_loss(Tensor(p), Tensor(t)).item(),
+            np.abs(p - t).mean(), rtol=1e-5)
+
+
+class TestActivations:
+    def test_gelu_fixed_points(self):
+        x = Tensor(np.array([0.0], np.float32))
+        np.testing.assert_allclose(gelu(x).data, [0.0], atol=1e-6)
+        # gelu(x) ~ x for large positive x
+        big = Tensor(np.array([10.0], np.float32))
+        np.testing.assert_allclose(gelu(big).data, [10.0], atol=1e-3)
+
+    def test_gelu_monotone_on_positives(self):
+        x = np.linspace(0, 3, 20, dtype=np.float32)
+        y = gelu(Tensor(x)).data
+        assert (np.diff(y) > 0).all()
+
+    def test_silu_fixed_points(self):
+        np.testing.assert_allclose(
+            silu(Tensor(np.array([0.0], np.float32))).data, [0.0], atol=1e-7)
+
+    def test_gelu_grad_flows(self):
+        t = Tensor(np.array([0.5, -0.5], np.float32), requires_grad=True)
+        gelu(t).sum().backward()
+        assert t.grad is not None and np.isfinite(t.grad).all()
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = Tensor(np.array([[[10.0, -10.0], [-10.0, 10.0]]], np.float32))
+        targets = np.array([[0, 1]])
+        assert cross_entropy(logits, targets).item() < 1e-3
+
+    def test_uniform_prediction_log_vocab(self):
+        vocab = 8
+        logits = Tensor(np.zeros((1, 3, vocab), np.float32))
+        targets = np.zeros((1, 3), dtype=np.int64)
+        np.testing.assert_allclose(
+            cross_entropy(logits, targets).item(), np.log(vocab), rtol=1e-4)
+
+    def test_padding_ignored(self):
+        logits = Tensor(np.random.default_rng(0).normal(
+            size=(1, 4, 5)).astype(np.float32))
+        t_full = np.array([[1, 2, -1, -1]])
+        t_short = np.array([[1, 2]])
+        short_logits = Tensor(logits.data[:, :2])
+        np.testing.assert_allclose(
+            cross_entropy(logits, t_full).item(),
+            cross_entropy(short_logits, t_short).item(), rtol=1e-5)
+
+    def test_gradient_shape(self):
+        logits = Tensor(np.zeros((2, 3, 7), np.float32), requires_grad=True)
+        targets = np.ones((2, 3), dtype=np.int64)
+        cross_entropy(logits, targets).backward()
+        assert logits.grad.shape == (2, 3, 7)

@@ -1,0 +1,189 @@
+"""Tests for the module system and core layers (repro.nn)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import (
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    Module,
+    ModuleList,
+    Parameter,
+    PositionalEncoding,
+    RMSNorm,
+    Sequential,
+    SinusoidalPositionalEncoding,
+    Tensor,
+)
+
+
+class _Toy(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = Linear(4, 8)
+        self.fc2 = Linear(8, 2)
+        self.scale = Parameter(np.ones(1, np.float32))
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x).relu()) * self.scale
+
+
+class TestModuleSystem:
+    def test_named_parameters_paths(self):
+        names = dict(_Toy().named_parameters())
+        assert "fc1.weight" in names and "fc2.bias" in names
+        assert "scale" in names
+
+    def test_num_parameters(self):
+        toy = _Toy()
+        assert toy.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2 + 1
+
+    def test_freeze_unfreeze(self):
+        toy = _Toy()
+        toy.freeze()
+        assert toy.num_parameters(trainable_only=True) == 0
+        toy.unfreeze()
+        assert toy.num_parameters(trainable_only=True) == toy.num_parameters()
+
+    def test_train_eval_propagates(self):
+        seq = Sequential(Linear(2, 2), Dropout(0.5))
+        seq.eval()
+        assert all(not m.training for m in seq.modules())
+
+    def test_state_dict_roundtrip(self):
+        a, b = _Toy(), _Toy()
+        b.load_state_dict(a.state_dict())
+        x = Tensor(np.random.default_rng(0).normal(size=(3, 4)).astype(np.float32))
+        np.testing.assert_allclose(a(x).data, b(x).data, atol=1e-6)
+
+    def test_state_dict_mismatch_raises(self):
+        state = _Toy().state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            _Toy().load_state_dict(state)
+
+    def test_state_dict_shape_mismatch_raises(self):
+        state = _Toy().state_dict()
+        state["scale"] = np.ones(5)
+        with pytest.raises(ValueError):
+            _Toy().load_state_dict(state)
+
+    def test_module_list_traversal(self):
+        class Holder(Module):
+            def __init__(self):
+                super().__init__()
+                self.layers = ModuleList([Linear(2, 2), Linear(2, 2)])
+
+            def forward(self, x):
+                for l in self.layers:
+                    x = l(x)
+                return x
+
+        holder = Holder()
+        assert holder.num_parameters() == 2 * (2 * 2 + 2)
+
+    def test_zero_grad(self):
+        toy = _Toy()
+        x = Tensor(np.ones((1, 4), np.float32))
+        toy(x).sum().backward()
+        assert any(p.grad is not None for p in toy.parameters())
+        toy.zero_grad()
+        assert all(p.grad is None for p in toy.parameters())
+
+
+class TestLinear:
+    def test_shapes(self):
+        layer = Linear(5, 3)
+        out = layer(Tensor(np.zeros((2, 7, 5), np.float32)))
+        assert out.shape == (2, 7, 3)
+
+    def test_no_bias(self):
+        layer = Linear(4, 2, bias=False)
+        assert layer.bias is None
+        assert layer.num_parameters() == 8
+
+
+class TestNorms:
+    def test_layernorm_zero_mean_unit_var(self):
+        layer = LayerNorm(16)
+        x = Tensor(np.random.default_rng(0).normal(
+            2.0, 5.0, size=(4, 16)).astype(np.float32))
+        out = layer(x).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(4), atol=1e-4)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones(4), atol=1e-2)
+
+    def test_layernorm_grad_flows_to_gamma_beta(self):
+        layer = LayerNorm(8)
+        x = Tensor(np.random.default_rng(1).normal(size=(2, 8)).astype(np.float32))
+        layer(x).sum().backward()
+        assert layer.gamma.grad is not None
+        assert layer.beta.grad is not None
+
+    def test_rmsnorm_unit_rms(self):
+        layer = RMSNorm(16)
+        x = Tensor(np.random.default_rng(2).normal(
+            0.0, 3.0, size=(4, 16)).astype(np.float32))
+        out = layer(x).data
+        rms = np.sqrt((out ** 2).mean(axis=-1))
+        np.testing.assert_allclose(rms, np.ones(4), atol=1e-2)
+
+
+class TestEmbedding:
+    def test_lookup(self):
+        emb = Embedding(10, 4)
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+        np.testing.assert_allclose(out.data[0, 0], emb.weight.data[1])
+
+    def test_out_of_range_raises(self):
+        emb = Embedding(5, 2)
+        with pytest.raises(IndexError):
+            emb(np.array([7]))
+
+    def test_gradient_reaches_rows(self):
+        emb = Embedding(6, 3)
+        emb(np.array([0, 0, 5])).sum().backward()
+        grads = emb.weight.grad
+        assert grads[0].sum() == 6.0  # two lookups x 3 dims
+        assert grads[1].sum() == 0.0
+
+
+class TestPositional:
+    def test_learned_additive(self):
+        pe = PositionalEncoding(10, 4)
+        x = Tensor(np.zeros((2, 5, 4), np.float32))
+        np.testing.assert_allclose(pe(x).data[0], pe.weight.data[:5])
+
+    def test_learned_too_long_raises(self):
+        pe = PositionalEncoding(4, 2)
+        with pytest.raises(ValueError):
+            pe(Tensor(np.zeros((1, 9, 2), np.float32)))
+
+    def test_sinusoidal_bounded(self):
+        pe = SinusoidalPositionalEncoding(50, 8)
+        x = Tensor(np.zeros((1, 50, 8), np.float32))
+        out = pe(x).data
+        assert np.abs(out).max() <= 1.0 + 1e-6
+
+
+class TestDropout:
+    def test_eval_is_identity(self):
+        drop = Dropout(0.5)
+        drop.eval()
+        x = Tensor(np.ones((3, 3), np.float32))
+        np.testing.assert_allclose(drop(x).data, x.data)
+
+    def test_train_preserves_expectation(self):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((200, 200), np.float32))
+        out = drop(x).data
+        np.testing.assert_allclose(out.mean(), 1.0, atol=0.05)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)

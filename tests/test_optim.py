@@ -1,0 +1,135 @@
+"""Tests for optimizers, schedulers, clipping and serialization."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SGD,
+    Adam,
+    AdamW,
+    CosineAnnealingLR,
+    Linear,
+    Parameter,
+    StepLR,
+    Tensor,
+    WarmupCosineLR,
+    clip_grad_norm,
+    load_module,
+    save_module,
+)
+
+
+def _quadratic_param(start=5.0):
+    return Parameter(np.array([start], np.float32))
+
+
+def _minimize(optimizer, parameter, steps=200):
+    for _ in range(steps):
+        loss = (parameter * parameter).sum()
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+    return abs(float(parameter.data[0]))
+
+
+class TestOptimizers:
+    def test_sgd_minimizes_quadratic(self):
+        p = _quadratic_param()
+        assert _minimize(SGD([p], lr=0.1), p) < 1e-3
+
+    def test_sgd_momentum_minimizes(self):
+        p = _quadratic_param()
+        assert _minimize(SGD([p], lr=0.05, momentum=0.9), p) < 1e-2
+
+    def test_adam_minimizes_quadratic(self):
+        p = _quadratic_param()
+        assert _minimize(Adam([p], lr=0.1), p) < 1e-2
+
+    def test_adamw_decays_without_gradient_signal(self):
+        p = Parameter(np.array([1.0], np.float32))
+        opt = AdamW([p], lr=0.1, weight_decay=0.5)
+        zero = Parameter(np.array([0.0], np.float32))
+        for _ in range(20):
+            loss = (p * zero).sum()  # zero gradient w.r.t. p value
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert abs(float(p.data[0])) < 0.5
+
+    def test_empty_parameter_list_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_frozen_parameters_excluded(self):
+        frozen = Parameter(np.ones(1, np.float32))
+        frozen.requires_grad = False
+        live = Parameter(np.ones(1, np.float32))
+        opt = SGD([frozen, live], lr=0.1)
+        assert len(opt.parameters) == 1
+
+    def test_step_skips_none_grads(self):
+        p = Parameter(np.ones(1, np.float32))
+        Adam([p], lr=0.1).step()  # no grad accumulated; must not crash
+        np.testing.assert_allclose(p.data, [1.0])
+
+
+class TestClipping:
+    def test_clip_reduces_norm(self):
+        p = Parameter(np.ones(4, np.float32))
+        p.grad = np.full(4, 10.0, np.float32)
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0, rel=1e-5)
+
+    def test_clip_noop_when_small(self):
+        p = Parameter(np.ones(2, np.float32))
+        p.grad = np.array([0.1, 0.1], np.float32)
+        clip_grad_norm([p], max_norm=1.0)
+        np.testing.assert_allclose(p.grad, [0.1, 0.1])
+
+
+class TestSchedulers:
+    def test_step_lr_halves(self):
+        p = _quadratic_param()
+        opt = SGD([p], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.5)
+        lrs = [sched.step() for _ in range(4)]
+        assert lrs == [1.0, 0.5, 0.5, 0.25]
+
+    def test_cosine_reaches_min(self):
+        p = _quadratic_param()
+        opt = SGD([p], lr=1.0)
+        sched = CosineAnnealingLR(opt, t_max=10, min_lr=0.1)
+        for _ in range(10):
+            lr = sched.step()
+        assert lr == pytest.approx(0.1, abs=1e-6)
+
+    def test_warmup_ramps_then_decays(self):
+        p = _quadratic_param()
+        opt = SGD([p], lr=1.0)
+        sched = WarmupCosineLR(opt, warmup=5, t_max=10)
+        warm = [sched.step() for _ in range(5)]
+        assert warm == pytest.approx([0.2, 0.4, 0.6, 0.8, 1.0])
+        later = [sched.step() for _ in range(10)]
+        assert later[-1] == pytest.approx(0.0, abs=1e-6)
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path):
+        src = Linear(4, 3)
+        dst = Linear(4, 3)
+        path = os.path.join(tmp_path, "weights.npz")
+        save_module(src, path)
+        load_module(dst, path)
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 4)).astype(np.float32))
+        np.testing.assert_allclose(src(x).data, dst(x).data, atol=1e-7)
+
+    def test_load_appends_extension(self, tmp_path):
+        src = Linear(2, 2)
+        path = os.path.join(tmp_path, "w.npz")
+        save_module(src, path)
+        load_module(Linear(2, 2), os.path.join(tmp_path, "w"))
