@@ -1,0 +1,94 @@
+"""BENCH: embedding-pipeline trajectory (paper "Embeddings Storage").
+
+Measures the wall-clock effect of the contiguous precomputed embedding
+store at bench scale: once the store is warm, a training epoch is pure
+gather + forward and never invokes ``CalibratedLanguageModel.forward``.
+The observed speedup is recorded to ``artifacts/bench/`` as the first
+point of the performance trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from conftest import run_once
+
+from repro.core.trainer import TimeKDTrainer
+from repro.experiments.common import (
+    prepare_data,
+    shared_backbone,
+    timekd_config,
+)
+from repro.llm import CalibratedLanguageModel
+
+
+def _bench_dir() -> str:
+    root = os.environ.get("REPRO_CACHE",
+                          os.path.join(os.getcwd(), "artifacts"))
+    path = os.path.join(root, "bench")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def test_embedding_pipeline_speedup(benchmark, bench_scale):
+    data = prepare_data("ETTm1", 24, bench_scale)
+    backbone = shared_backbone("gpt2-tiny", bench_scale.llm_pretrain_steps)
+    clm = CalibratedLanguageModel(backbone, delta=1.0)
+    config = timekd_config(data, bench_scale).with_updates(
+        teacher_epochs=1, student_epochs=1,
+        max_batches_per_epoch=None,       # full epochs: the honest case
+        embedding_cache_dir=None,         # measure compute, not disk reuse
+    )
+
+    def run() -> dict:
+        # Seed-style lazy path: the first epoch pays per-batch CLM
+        # encoding, exactly like the pre-store pipeline did every epoch.
+        lazy = TimeKDTrainer(
+            config.with_updates(precompute_embeddings=False), data, clm=clm)
+        start = time.perf_counter()
+        lazy.train_teacher()
+        lazy_epoch = time.perf_counter() - start
+
+        # Second epoch of the same trainer: the store is warm, so the
+        # epoch must not invoke CalibratedLanguageModel.forward at all.
+        forwards_before = clm.num_forwards
+        start = time.perf_counter()
+        lazy.train_teacher()
+        warm_epoch = time.perf_counter() - start
+        assert clm.num_forwards == forwards_before, \
+            "second-epoch training must not touch the CLM"
+
+        # Explicit precompute pass: one-shot chunked encode up front,
+        # then every epoch (including the first) is CLM-free.
+        fast = TimeKDTrainer(
+            config.with_updates(precompute_embeddings=True), data, clm=clm)
+        start = time.perf_counter()
+        fast.prepare_embeddings()
+        precompute = time.perf_counter() - start
+        assert len(fast.store) == len(data.train)
+        forwards_before = clm.num_forwards
+        start = time.perf_counter()
+        fast.train_teacher()
+        fast_epoch = time.perf_counter() - start
+        assert clm.num_forwards == forwards_before, \
+            "precomputed training epoch must not touch the CLM"
+
+        assert lazy_epoch >= 2.0 * warm_epoch, (
+            f"expected >= 2x epoch speedup once the store is warm, got "
+            f"{lazy_epoch:.3f}s lazy vs {warm_epoch:.3f}s warm")
+        return {
+            "dataset": "ETTm1",
+            "train_windows": len(data.train),
+            "lazy_epoch_s": lazy_epoch,
+            "warm_epoch_s": warm_epoch,
+            "precompute_s": precompute,
+            "precomputed_epoch_s": fast_epoch,
+            "epoch_speedup": lazy_epoch / max(warm_epoch, 1e-9),
+            "clm_forwards_warm_epoch": 0,
+        }
+
+    result = run_once(benchmark, run)
+    with open(os.path.join(_bench_dir(), "perf_pipeline.json"), "w") as fh:
+        json.dump(result, fh, indent=2)

@@ -3,9 +3,12 @@
 Run with::
 
     python examples/quickstart.py
+    python examples/quickstart.py --epochs 2 --teacher-epochs 1   # CI smoke
 """
 
 from __future__ import annotations
+
+import argparse
 
 import numpy as np
 
@@ -13,7 +16,12 @@ from repro import TimeKDConfig, TimeKDForecaster
 from repro.data import load_dataset, make_forecasting_data
 
 
-def main() -> None:
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=10,
+                        help="student (distillation) epochs")
+    parser.add_argument("--teacher-epochs", type=int, default=5)
+    args = parser.parse_args(argv)
     # 1. Load a dataset (synthetic ETTm1 stand-in: 7 electricity
     #    variables sampled every 15 minutes) and window it: 96 history
     #    steps -> 24 forecast steps, chronological 70/10/20 splits.
@@ -29,7 +37,7 @@ def main() -> None:
     config = TimeKDConfig(
         horizon=24,
         d_model=32, num_heads=2, num_layers=1, ffn_dim=64,
-        teacher_epochs=5, student_epochs=10,
+        teacher_epochs=args.teacher_epochs, student_epochs=args.epochs,
         batch_size=16, max_batches_per_epoch=8,
         llm_pretrain_steps=60, prompt_value_stride=8,
     )

@@ -18,7 +18,13 @@ import sys
 from .core import TimeKDConfig, TimeKDForecaster
 from .data import dataset_names, load_dataset, make_forecasting_data
 from .eval import format_table
-from .experiments.common import ExperimentScale, prepare_data, run_model, strip_private
+from .experiments.common import (
+    ExperimentScale,
+    cache_disabled,
+    prepare_data,
+    run_model,
+    strip_private,
+)
 
 __all__ = ["main"]
 
@@ -32,6 +38,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--epochs", type=int, default=10)
     parser.add_argument("--d-model", type=int, default=32)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--embedding-cache", default=None, metavar="DIR",
+                        help="directory for the fingerprinted CLM embedding "
+                             "store; repeated runs over the same dataset and "
+                             "config skip CLM re-encoding ('off' disables "
+                             "persistence)")
+    parser.add_argument("--no-precompute", action="store_true",
+                        help="keep the lazy per-batch embedding fill instead "
+                             "of encoding the whole train split up front")
 
 
 def _scale(args) -> ExperimentScale:
@@ -46,13 +60,32 @@ def _data(args):
                                  horizon=args.horizon)
 
 
+def _embedding_options(args) -> dict:
+    """TimeKDConfig overrides from the embedding-pipeline flags.
+
+    Only explicitly set flags are forwarded, so defaults (like the
+    experiment grid's shared cache directory) survive.
+    """
+    options: dict = {}
+    if args.embedding_cache is not None:
+        # Same convention as REPRO_EMBED_CACHE: 'off'/'none'/'0'/''
+        # disable persistence explicitly (compare defaults it on).
+        options["embedding_cache_dir"] = (
+            None if cache_disabled(args.embedding_cache)
+            else args.embedding_cache)
+    if args.no_precompute:
+        options["precompute_embeddings"] = False
+    return options
+
+
 def _cmd_train(args) -> int:
     data = _data(args)
     config = TimeKDConfig(
         history_length=args.history, horizon=args.horizon,
         d_model=args.d_model, student_epochs=args.epochs, seed=args.seed,
         frequency_minutes=data.frequency_minutes,
-        num_variables=data.num_variables)
+        num_variables=data.num_variables,
+        **_embedding_options(args))
     model = TimeKDForecaster(config).fit(data)
     metrics = model.evaluate(data.test)
     print(f"test MSE={metrics['mse']:.4f} MAE={metrics['mae']:.4f}")
@@ -82,7 +115,8 @@ def _cmd_compare(args) -> int:
                         length=args.length)
     rows = []
     for name in args.models:
-        row = strip_private(run_model(name, data, scale))
+        row = strip_private(run_model(name, data, scale,
+                                      **_embedding_options(args)))
         rows.append(row)
     print(format_table(
         rows, title=f"{args.dataset}, horizon {args.horizon}"))

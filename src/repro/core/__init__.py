@@ -14,7 +14,12 @@ from .distill import (
 from .forecaster import TimeKDForecaster
 from .revin import RevIN
 from .sca import PlainSubtraction, SubtractiveCrossAttention
-from .store import EmbeddingStore
+from .store import (
+    EmbeddingStore,
+    StoreFingerprintMismatch,
+    embedding_fingerprint,
+    weights_digest,
+)
 from .student import StudentModel, StudentOutput
 from .teacher import CrossModalityTeacher, TeacherOutput
 from .trainer import TimeKDTrainer
@@ -31,6 +36,9 @@ __all__ = [
     "SubtractiveCrossAttention",
     "PlainSubtraction",
     "EmbeddingStore",
+    "StoreFingerprintMismatch",
+    "embedding_fingerprint",
+    "weights_digest",
     "correlation_distillation_loss",
     "feature_distillation_loss",
     "pkd_loss",

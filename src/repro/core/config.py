@@ -52,6 +52,19 @@ class TimeKDConfig:
     calibration_delta: float = 1.0
     prompt_value_stride: int = 4
 
+    # embedding pipeline (paper Figure 3 "Embeddings Storage").
+    # ``precompute_embeddings`` selects the one-pass precompute of the
+    # whole train split at ``fit()`` start: True forces it, False keeps
+    # the lazy per-batch fill, None (auto) precomputes only when epochs
+    # are uncapped (with ``max_batches_per_epoch`` set, an epoch touches
+    # a small shuffled subset and lazy filling is cheaper).
+    precompute_embeddings: bool | None = None
+    # Directory for fingerprinted ``.npz`` embedding caches; None
+    # disables disk persistence.
+    embedding_cache_dir: str | None = None
+    # Windows per CLM chunk during the precompute pass.
+    precompute_chunk_size: int = 64
+
     # loss weights (paper Eq. 26 and Eq. 30)
     lambda_recon: float = 1.0
     lambda_pkd: float = 1.0

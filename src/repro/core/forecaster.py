@@ -37,6 +37,7 @@ class TimeKDForecaster:
                  clm: CalibratedLanguageModel | None = None):
         self.config = config or TimeKDConfig()
         self._injected_clm = clm
+        self._clm_released = False
         self.trainer: TimeKDTrainer | None = None
 
     # ------------------------------------------------------------------
@@ -44,6 +45,11 @@ class TimeKDForecaster:
     # ------------------------------------------------------------------
     def fit(self, data: ForecastingData) -> "TimeKDForecaster":
         """Train teacher and student on prepared forecasting data."""
+        if self._clm_released:
+            raise RuntimeError(
+                "fit() after compact(): the injected CLM was released; "
+                "construct a new forecaster (or inject a CLM again) to "
+                "retrain")
         self.trainer = TimeKDTrainer(self.config, data, clm=self._injected_clm)
         self.config = self.trainer.config  # may absorb data shape updates
         self.trainer.fit()
@@ -159,11 +165,18 @@ class TimeKDForecaster:
         return self
 
     def compact(self) -> None:
-        """Drop teacher/CLM references — keep only the student."""
+        """Drop teacher/CLM references — keep only the student.
+
+        Clears every CLM handle, including the one injected at
+        construction, so the frozen language model becomes unreachable
+        and its memory is actually reclaimed.
+        """
         self._check_fitted()
         self.trainer.teacher = None
         self.trainer.clm = None
         self.trainer.store.clear()
+        self._clm_released = self._injected_clm is not None
+        self._injected_clm = None
 
     def _check_fitted(self) -> None:
         if self.trainer is None:

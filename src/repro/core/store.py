@@ -5,67 +5,303 @@ constants.  Computing them once and replaying across epochs is what makes
 the LLM-based teacher affordable — the paper calls this out explicitly
 ("to avoid repetitive processing with the frozen CLMs, we store the
 subtracted embeddings").
+
+The store keeps embeddings in contiguous preallocated ``(num_windows, N,
+D)`` float32 arrays so a training batch is a single fancy-index gather
+(no per-window Python loops, no per-batch ``np.stack``).  It supports an
+explicit :meth:`precompute` pass that encodes an entire split in large
+CLM chunks up front, and ``.npz`` persistence keyed by a fingerprint of
+everything the embeddings depend on (dataset, prompt config, CLM
+weights/delta/pooling), so repeated experiments over the same split skip
+CLM re-encoding entirely.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
+import tempfile
 from typing import Callable
 
 import numpy as np
 
-__all__ = ["EmbeddingStore"]
+__all__ = [
+    "EmbeddingStore",
+    "StoreFingerprintMismatch",
+    "embedding_fingerprint",
+    "weights_digest",
+]
+
+#: Bump when the on-disk layout or the meaning of a fingerprint changes.
+STORE_FORMAT_VERSION = 1
+
+
+class StoreFingerprintMismatch(ValueError):
+    """A cached store was produced under a different configuration."""
+
+
+def embedding_fingerprint(**fields) -> str:
+    """Deterministic digest of everything the stored embeddings depend on.
+
+    Callers pass the dataset identity (name, split, window count), the
+    prompt configuration and the CLM identity (name, weights digest,
+    delta, pooling) as keyword arguments; any change yields a new
+    fingerprint and therefore a cache miss.
+    """
+    payload = json.dumps(
+        {"store_format": STORE_FORMAT_VERSION, **fields},
+        sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+
+def weights_digest(module) -> str:
+    """Digest of a module's parameters (captures the frozen CLM weights)."""
+    digest = hashlib.sha256()
+    for name, parameter in sorted(module.named_parameters()):
+        digest.update(name.encode("utf-8"))
+        digest.update(np.ascontiguousarray(parameter.data).tobytes())
+    return digest.hexdigest()[:16]
 
 
 class EmbeddingStore:
-    """Cache of per-window CLM embeddings keyed by window index."""
+    """Contiguous cache of per-window CLM embeddings indexed by window.
 
-    def __init__(self):
-        self._gt: dict[int, np.ndarray] = {}
-        self._hd: dict[int, np.ndarray] = {}
+    Parameters
+    ----------
+    capacity:
+        Number of windows the store will hold (``len(dataset)``).  The
+        backing arrays grow on demand, so 0 (unknown) is accepted; sizing
+        up front avoids reallocation during lazy filling.
+    fingerprint:
+        Digest of the configuration that produced the embeddings; carried
+        through :meth:`save`/:meth:`load` to reject stale caches.
+    """
 
+    def __init__(self, capacity: int = 0, fingerprint: str | None = None):
+        self.fingerprint = fingerprint
+        self._capacity = int(capacity)
+        self._hd: np.ndarray | None = None
+        self._gt: np.ndarray | None = None
+        self._has = np.zeros(self._capacity, dtype=bool)
+        self._has_gt = np.zeros(self._capacity, dtype=bool)
+        #: True when the contents diverge from the last save/load.
+        self.dirty = False
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._hd)
+        return int(self._has.sum())
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
 
     def has(self, index: int) -> bool:
-        return index in self._hd
+        return 0 <= index < self._capacity and bool(self._has[index])
 
+    def _ensure(self, min_capacity: int, row_shape: tuple[int, ...]) -> None:
+        """Allocate or grow the contiguous backing arrays."""
+        if self._hd is not None and row_shape != self._hd.shape[1:]:
+            raise ValueError(
+                f"embedding shape {row_shape} does not match stored "
+                f"shape {self._hd.shape[1:]}")
+        capacity = max(min_capacity, self._capacity)
+        if self._hd is None:
+            capacity = max(capacity, 1)
+            self._hd = np.zeros((capacity, *row_shape), dtype=np.float32)
+        elif min_capacity > self._capacity:
+            capacity = max(min_capacity, 2 * self._capacity)
+            grown = np.zeros((capacity, *row_shape), dtype=np.float32)
+            grown[: self._capacity] = self._hd
+            self._hd = grown
+            if self._gt is not None:
+                grown = np.zeros((capacity, *row_shape), dtype=np.float32)
+                grown[: self._capacity] = self._gt
+                self._gt = grown
+        if capacity > len(self._has):
+            for name in ("_has", "_has_gt"):
+                mask = np.zeros(capacity, dtype=bool)
+                old = getattr(self, name)
+                mask[: len(old)] = old
+                setattr(self, name, mask)
+        self._capacity = capacity
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
     def put(self, index: int, gt: np.ndarray | None, hd: np.ndarray) -> None:
+        if index < 0:
+            raise IndexError(f"window index must be non-negative, got {index}")
+        hd = np.asarray(hd, dtype=np.float32)
+        self._ensure(index + 1, hd.shape)
+        self._hd[index] = hd
+        self._has[index] = True
         if gt is not None:
+            if self._gt is None:
+                self._gt = np.zeros_like(self._hd)
             self._gt[index] = np.asarray(gt, dtype=np.float32)
-        self._hd[index] = np.asarray(hd, dtype=np.float32)
+            self._has_gt[index] = True
+        self.dirty = True
 
+    def put_batch(self, indices, gt: np.ndarray | None,
+                  hd: np.ndarray) -> None:
+        """Vectorized :meth:`put` for aligned ``(B, N, D)`` batches."""
+        idx = np.asarray(indices, dtype=np.int64).ravel()
+        if idx.size == 0:
+            return
+        if int(idx.min()) < 0:
+            raise IndexError("window indices must be non-negative")
+        hd = np.asarray(hd, dtype=np.float32)
+        self._ensure(int(idx.max()) + 1, hd.shape[1:])
+        self._hd[idx] = hd
+        self._has[idx] = True
+        if gt is not None:
+            if self._gt is None:
+                self._gt = np.zeros_like(self._hd)
+            self._gt[idx] = np.asarray(gt, dtype=np.float32)
+            self._has_gt[idx] = True
+        self.dirty = True
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
     def get(self, index: int) -> tuple[np.ndarray | None, np.ndarray]:
-        return self._gt.get(index), self._hd[index]
+        if not self.has(index):
+            raise KeyError(index)
+        gt = self._gt[index] if self._gt is not None and self._has_gt[index] \
+            else None
+        return gt, self._hd[index]
 
     def get_batch(
         self,
-        indices: np.ndarray,
-        compute: Callable[[list[int]], tuple[np.ndarray | None, np.ndarray]],
+        indices,
+        compute: Callable[[list[int]], tuple[np.ndarray | None, np.ndarray]]
+        | None = None,
     ) -> tuple[np.ndarray | None, np.ndarray]:
         """Fetch embeddings for ``indices``, computing the missing ones.
 
         ``compute(missing)`` must return batched ``(gt, hd)`` arrays of
-        shape ``(len(missing), N, D)`` (``gt`` may be None).
+        shape ``(len(missing), N, D)`` (``gt`` may be None).  The gather
+        itself is a single fancy-index read from the contiguous arrays.
+
+        Raises
+        ------
+        KeyError
+            If windows are missing and no ``compute`` callback is given.
+        RuntimeError
+            If the batch mixes windows cached with and without
+            ground-truth embeddings — an inconsistent cache state that
+            would otherwise silently drop privileged information.
         """
-        indices = [int(i) for i in indices]
-        missing = [i for i in indices if not self.has(i)]
+        idx = np.asarray(indices, dtype=np.int64).ravel()
+        if idx.size and int(idx.min()) < 0:
+            raise IndexError("window indices must be non-negative")
+        if self._hd is None or idx.size == 0:
+            missing = [int(i) for i in idx]
+        else:
+            in_range = idx < self._capacity
+            missing_mask = ~in_range
+            missing_mask[in_range] |= ~self._has[idx[in_range]]
+            missing = [int(i) for i in idx[missing_mask]]
         if missing:
+            if compute is None:
+                raise KeyError(f"windows not cached: {missing[:8]}...")
             gt_new, hd_new = compute(missing)
-            for row, index in enumerate(missing):
-                self.put(index,
-                         None if gt_new is None else gt_new[row],
-                         hd_new[row])
-        gts, hds = [], []
-        any_gt = True
-        for index in indices:
-            gt, hd = self.get(index)
-            if gt is None:
-                any_gt = False
-            gts.append(gt)
-            hds.append(hd)
-        gt_batch = np.stack(gts) if any_gt else None
-        return gt_batch, np.stack(hds)
+            self.put_batch(missing, gt_new, hd_new)
+
+        hd_batch = self._hd[idx]
+        has_gt = self._has_gt[idx]
+        if self._gt is not None and bool(has_gt.all()):
+            gt_batch = self._gt[idx]
+        elif not has_gt.any():
+            gt_batch = None
+        else:
+            raise RuntimeError(
+                "inconsistent embedding cache: batch mixes windows cached "
+                "with and without ground-truth embeddings")
+        return gt_batch, hd_batch
+
+    # ------------------------------------------------------------------
+    # one-pass precompute
+    # ------------------------------------------------------------------
+    def precompute(
+        self,
+        dataset,
+        encoder: Callable[[list[int]], tuple[np.ndarray | None, np.ndarray]],
+        chunk_size: int = 64,
+    ) -> int:
+        """Encode every not-yet-cached window of ``dataset`` up front.
+
+        ``encoder`` has the same contract as ``compute`` in
+        :meth:`get_batch`; it is called with chunks of ``chunk_size``
+        window indices so the CLM runs large batches instead of
+        per-minibatch fragments.  Returns the number of windows encoded.
+        """
+        todo = [i for i in range(len(dataset)) if not self.has(i)]
+        for start in range(0, len(todo), max(int(chunk_size), 1)):
+            chunk = todo[start: start + max(int(chunk_size), 1)]
+            gt, hd = encoder(chunk)
+            self.put_batch(chunk, gt, hd)
+        return len(todo)
 
     def clear(self) -> None:
-        self._gt.clear()
-        self._hd.clear()
+        self._hd = None
+        self._gt = None
+        self._has = np.zeros(self._capacity, dtype=bool)
+        self._has_gt = np.zeros(self._capacity, dtype=bool)
+        self.dirty = False
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        """Write the store to ``path`` (``.npz``), atomically."""
+        if self._hd is None:
+            raise RuntimeError("cannot save an empty EmbeddingStore")
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        payload = {
+            "hd": self._hd,
+            "has": self._has,
+            "has_gt": self._has_gt,
+            "fingerprint": np.array(self.fingerprint or ""),
+        }
+        if self._gt is not None:
+            payload["gt"] = self._gt
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".npz.tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(handle, **payload)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        self.dirty = False
+
+    @classmethod
+    def load(cls, path: str,
+             expected_fingerprint: str | None = None) -> "EmbeddingStore":
+        """Restore a store saved with :meth:`save`.
+
+        Raises :class:`StoreFingerprintMismatch` when the cache was
+        produced under a different configuration than
+        ``expected_fingerprint``.
+        """
+        with np.load(path, allow_pickle=False) as data:
+            fingerprint = str(data["fingerprint"])
+            if expected_fingerprint is not None \
+                    and fingerprint != expected_fingerprint:
+                raise StoreFingerprintMismatch(
+                    f"cache at {path} has fingerprint {fingerprint!r}, "
+                    f"expected {expected_fingerprint!r}")
+            store = cls(capacity=len(data["has"]), fingerprint=fingerprint)
+            store._hd = np.ascontiguousarray(data["hd"], dtype=np.float32)
+            store._has = data["has"].astype(bool)
+            store._has_gt = data["has_gt"].astype(bool)
+            if "gt" in data.files:
+                store._gt = np.ascontiguousarray(data["gt"], dtype=np.float32)
+        store.dirty = False
+        return store

@@ -8,6 +8,10 @@ and replayed from the :class:`EmbeddingStore` across epochs.
 
 from __future__ import annotations
 
+import os
+import re
+import zipfile
+
 import numpy as np
 
 from ..data.loader import DataLoader
@@ -21,7 +25,7 @@ from ..nn.functional import mae_loss, mse_loss, smooth_l1_loss
 from ..nn.tensor import Tensor
 from .config import TimeKDConfig
 from .distill import pkd_loss
-from .store import EmbeddingStore
+from .store import EmbeddingStore, embedding_fingerprint, weights_digest
 from .student import StudentModel
 from .teacher import CrossModalityTeacher
 
@@ -77,7 +81,7 @@ class TimeKDTrainer:
             # Figure 3 "Shared": one Linear(D -> M) decodes both the
             # teacher's privileged embeddings and the student's features.
             self.student.head = self.teacher.recon_head
-        self.store = EmbeddingStore()
+        self.store = EmbeddingStore(capacity=len(data.train))
         self.history: dict[str, list[float]] = {
             "teacher_loss": [], "student_loss": [], "val_mse": []}
         self._best_student_state: dict | None = None
@@ -127,6 +131,87 @@ class TimeKDTrainer:
             )
         return self._compute_clm_embeddings(
             dataset, [int(i) for i in indices], config.use_privileged_info)
+
+    # ------------------------------------------------------------------
+    # embedding precompute + disk cache (paper "Embeddings Storage")
+    # ------------------------------------------------------------------
+    def _should_precompute(self) -> bool:
+        if not self.config.use_clm:
+            return False
+        if self.config.precompute_embeddings is None:
+            # Auto: with capped epochs only a small shuffled subset of
+            # windows is ever visited, so lazy filling is cheaper.
+            return self.config.max_batches_per_epoch is None
+        return bool(self.config.precompute_embeddings)
+
+    def embedding_fingerprint(self) -> str:
+        """Digest of everything the stored train embeddings depend on."""
+        config = self.config
+        return embedding_fingerprint(
+            dataset=self.data.name,
+            split="train",
+            num_windows=len(self.data.train),
+            history_length=config.history_length,
+            horizon=config.horizon,
+            num_variables=config.num_variables,
+            frequency_minutes=config.frequency_minutes,
+            prompt_value_stride=config.prompt_value_stride,
+            llm_name=config.llm_name,
+            llm_pretrain_steps=config.llm_pretrain_steps,
+            llm_weights=weights_digest(self.clm.backbone),
+            calibration_delta=config.calibration_delta,
+            pooling=self.clm.pooling,
+            use_privileged_info=config.use_privileged_info,
+        )
+
+    def _embedding_cache_path(self) -> str | None:
+        directory = self.config.embedding_cache_dir
+        if not directory or not self.config.use_clm:
+            return None
+        dataset = re.sub(r"[^A-Za-z0-9_.-]+", "_", self.data.name) or "data"
+        assert self.store.fingerprint is not None
+        return os.path.join(
+            directory, f"{dataset}-train-{self.store.fingerprint}.npz")
+
+    def prepare_embeddings(self) -> None:
+        """Make the store ready for training epochs.
+
+        Loads a fingerprint-matching ``.npz`` cache when one exists
+        (stale fingerprints are recomputed, not trusted), then — in
+        precompute mode — encodes every remaining train window in large
+        CLM chunks so the training epochs are pure gather + forward.
+        """
+        if not self.config.use_clm:
+            return
+        self.store.fingerprint = self.embedding_fingerprint()
+        path = self._embedding_cache_path()
+        if path and os.path.exists(path):
+            try:
+                self.store = EmbeddingStore.load(
+                    path, expected_fingerprint=self.store.fingerprint)
+            except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+                # The cache is best-effort: a stale fingerprint
+                # (StoreFingerprintMismatch is a ValueError) or a
+                # corrupt/truncated file means re-encode, not crash.
+                pass
+        if self._should_precompute():
+            dataset = self.data.train
+            self.store.precompute(
+                dataset,
+                lambda chunk: self._compute_clm_embeddings(
+                    dataset, chunk, self.config.use_privileged_info),
+                chunk_size=self.config.precompute_chunk_size,
+            )
+
+    def save_embeddings(self) -> None:
+        """Persist whatever the store holds to the configured cache dir.
+
+        A store that was loaded from disk and gained no new windows is
+        not rewritten.
+        """
+        path = self._embedding_cache_path()
+        if path and self.store.dirty and len(self.store) > 0:
+            self.store.save(path)
 
     # ------------------------------------------------------------------
     # Phase A — Algorithm 1
@@ -275,15 +360,22 @@ class TimeKDTrainer:
         return losses
 
     def fit(self) -> "TimeKDTrainer":
-        """Train according to ``config.training_mode``."""
-        if self.config.training_mode == "joint":
-            self.train_joint()
-        elif self.config.training_mode == "two-phase":
-            self.train_teacher()
-            self.train_student()
-        else:
+        """Train according to ``config.training_mode``.
+
+        The frozen CLM's embeddings are prepared first (cache load and,
+        in precompute mode, a one-pass encode of the train split), so
+        the epochs below never touch the CLM once the store is warm.
+        """
+        if self.config.training_mode not in ("joint", "two-phase"):
             raise ValueError(
                 f"unknown training_mode {self.config.training_mode!r}")
+        self.prepare_embeddings()
+        if self.config.training_mode == "joint":
+            self.train_joint()
+        else:
+            self.train_teacher()
+            self.train_student()
+        self.save_embeddings()
         return self
 
     # ------------------------------------------------------------------

@@ -36,6 +36,8 @@ __all__ = [
     "run_model",
     "shared_backbone",
     "results_dir",
+    "cache_disabled",
+    "embedding_cache_dir",
     "PAPER_MODELS",
 ]
 
@@ -82,6 +84,36 @@ def get_scale() -> ExperimentScale:
 def results_dir() -> str:
     root = os.environ.get("REPRO_CACHE", os.path.join(os.getcwd(), "artifacts"))
     path = os.path.join(root, "results")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def cache_disabled(value: str) -> bool:
+    """Whether a cache-location string explicitly disables persistence.
+
+    One convention shared by the ``--embedding-cache`` CLI flags and the
+    ``REPRO_EMBED_CACHE`` environment variable.
+    """
+    return value.strip().lower() in ("", "0", "off", "none", "false")
+
+
+def embedding_cache_dir() -> str | None:
+    """Shared fingerprinted CLM-embedding cache for the experiment grid.
+
+    Every experiment cell over the same dataset/prompt/CLM configuration
+    hits the same ``.npz`` store, so the ~14 tables and figures encode
+    each split once.  ``REPRO_EMBED_CACHE`` overrides the location; set
+    it to ``off`` (or ``0``/``none``) to disable persistence.
+    """
+    override = os.environ.get("REPRO_EMBED_CACHE")
+    if override is not None:
+        if cache_disabled(override):
+            return None
+        path = override
+    else:
+        root = os.environ.get(
+            "REPRO_CACHE", os.path.join(os.getcwd(), "artifacts"))
+        path = os.path.join(root, "embeddings")
     os.makedirs(path, exist_ok=True)
     return path
 
@@ -135,6 +167,10 @@ def timekd_config(data: ForecastingData, scale: ExperimentScale,
         max_batches_per_epoch=scale.max_batches,
         seed=scale.seed,
     )
+    if "embedding_cache_dir" not in overrides:
+        # Resolved lazily so an explicit override (including None) never
+        # creates the default cache directory as a side effect.
+        base = base.with_updates(embedding_cache_dir=embedding_cache_dir())
     return base.with_updates(**overrides) if overrides else base
 
 
@@ -188,10 +224,14 @@ def run_baseline(
 
 
 def run_model(name: str, data: ForecastingData,
-              scale: ExperimentScale) -> dict:
-    """Dispatch to TimeKD or a baseline by paper model name."""
+              scale: ExperimentScale, **timekd_overrides) -> dict:
+    """Dispatch to TimeKD or a baseline by paper model name.
+
+    ``timekd_overrides`` are :class:`TimeKDConfig` field overrides (for
+    example ``embedding_cache_dir``) applied only to TimeKD runs.
+    """
     if name == "TimeKD":
-        return run_timekd(data, scale)
+        return run_timekd(data, scale, **timekd_overrides)
     return run_baseline(name, data, scale)
 
 

@@ -10,6 +10,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -50,15 +51,33 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("experiments", nargs="+",
                         choices=sorted(EXPERIMENTS) + ["all"],
                         help="artefact ids to regenerate")
+    parser.add_argument(
+        "--embedding-cache", default=None, metavar="DIR",
+        help="directory for the shared fingerprinted CLM-embedding "
+             "store (default: <REPRO_CACHE|artifacts>/embeddings; "
+             "'off' disables persistence)")
     args = parser.parse_args(argv)
 
-    names = sorted(EXPERIMENTS) if "all" in args.experiments \
-        else args.experiments
-    for name in names:
-        start = time.perf_counter()
-        print(f"\n=== {name} ===")
-        EXPERIMENTS[name]()
-        print(f"[{name} done in {time.perf_counter() - start:.1f}s]")
+    previous_cache = os.environ.get("REPRO_EMBED_CACHE")
+    if args.embedding_cache is not None:
+        # The experiment modules resolve the store location through
+        # repro.experiments.common.embedding_cache_dir().
+        os.environ["REPRO_EMBED_CACHE"] = args.embedding_cache
+
+    try:
+        names = sorted(EXPERIMENTS) if "all" in args.experiments \
+            else args.experiments
+        for name in names:
+            start = time.perf_counter()
+            print(f"\n=== {name} ===")
+            EXPERIMENTS[name]()
+            print(f"[{name} done in {time.perf_counter() - start:.1f}s]")
+    finally:
+        if args.embedding_cache is not None:
+            if previous_cache is None:
+                os.environ.pop("REPRO_EMBED_CACHE", None)
+            else:
+                os.environ["REPRO_EMBED_CACHE"] = previous_cache
     return 0
 
 

@@ -82,6 +82,7 @@ class RotaryMultiHeadAttention(Module):
         self.k_proj = Linear(dim, dim)
         self.v_proj = Linear(dim, dim)
         self.out_proj = Linear(dim, dim)
+        self.store_attention = False
         self.last_attention: np.ndarray | None = None
         self._cos, self._sin = _rope_tables(max_length, self.head_dim)
 
@@ -110,7 +111,8 @@ class RotaryMultiHeadAttention(Module):
         if attn_bias is not None:
             scores = scores + Tensor(np.asarray(attn_bias, dtype=np.float32))
         weights = scores.softmax(axis=-1)
-        self.last_attention = weights.data.mean(axis=1)
+        if self.store_attention:
+            self.last_attention = weights.data.mean(axis=1)
         context = weights.matmul(v).transpose(0, 2, 1, 3)
         batch, seq, heads, head_dim = context.shape
         context = context.reshape(batch, seq, heads * head_dim)

@@ -65,7 +65,18 @@ class CalibratedLanguageModel(Module):
 
     Calling the model with a batched :class:`TokenizedPrompt` of shape
     ``(N, S)`` returns pooled embeddings ``(N, D)``.
+
+    The prompt templates produce only a handful of distinct modality
+    patterns, so the calibrated bias is cached per pattern instead of
+    being rebuilt as a ``(B, 1, S, S)`` block on every call, and rows
+    with identical ``(token_ids, modality)`` are encoded once per batch
+    and scattered back (the backbone is row-independent, so the result
+    is bitwise identical to the duplicated forward).
     """
+
+    #: Bound on the per-instance bias cache; templates yield few
+    #: patterns, so this is only a safety valve against degenerate input.
+    _BIAS_CACHE_LIMIT = 128
 
     def __init__(self, backbone: TransformerLM, delta: float = 1.0,
                  pooling: str = "last"):
@@ -76,10 +87,57 @@ class CalibratedLanguageModel(Module):
         self.backbone.freeze()
         self.delta = float(delta)
         self.pooling = pooling
+        #: Number of :meth:`forward` invocations (profiling / tests).
+        self.num_forwards = 0
+        #: Number of sequences actually run through the backbone after
+        #: in-batch deduplication.
+        self.num_sequences = 0
+        self._bias_cache: dict[tuple[bytes, float], np.ndarray] = {}
 
     @property
     def dim(self) -> int:
         return self.backbone.config.dim
+
+    # ------------------------------------------------------------------
+    # calibrated bias, cached by modality pattern
+    # ------------------------------------------------------------------
+    def _pattern_bias(self, pattern: np.ndarray) -> np.ndarray:
+        """(S, S) bias for one modality row, cached by its bytes."""
+        key = (pattern.tobytes(), self.delta)
+        bias = self._bias_cache.get(key)
+        if bias is None:
+            if len(self._bias_cache) >= self._BIAS_CACHE_LIMIT:
+                self._bias_cache.clear()
+            bias = build_calibrated_bias(pattern, self.delta)
+            bias.setflags(write=False)
+            self._bias_cache[key] = bias
+        return bias
+
+    def _batched_bias(self, modality: np.ndarray) -> np.ndarray | None:
+        """Additive bias for a ``(B, S)`` modality batch.
+
+        With one distinct pattern (the common case: every prompt follows
+        the same template) this is a shared ``(S, S)`` array that
+        broadcasts across batch and heads; only genuinely heterogeneous
+        batches pay for a ``(B, 1, S, S)`` gather.
+        """
+        if self.delta <= 0.0:
+            return None
+        patterns, inverse = np.unique(modality, axis=0, return_inverse=True)
+        if len(patterns) == 1:
+            return self._pattern_bias(patterns[0])
+        stacked = np.stack([self._pattern_bias(p) for p in patterns])
+        return stacked[inverse][:, None, :, :]
+
+    # ------------------------------------------------------------------
+    # encoding
+    # ------------------------------------------------------------------
+    def _encode_hidden(self, token_ids: np.ndarray,
+                       modality: np.ndarray) -> Tensor:
+        bias = self._batched_bias(modality)
+        self.num_sequences += len(token_ids)
+        with no_grad():
+            return self.backbone(token_ids, extra_bias=bias)
 
     def forward(self, prompt: TokenizedPrompt) -> Tensor:
         """Encode a batched prompt into last-token embeddings ``(N, D)``.
@@ -88,30 +146,31 @@ class CalibratedLanguageModel(Module):
         are stored as constants for distillation, exactly as the paper's
         embedding storage prescribes.
         """
+        self.num_forwards += 1
         token_ids = np.atleast_2d(prompt.token_ids)
         modality = np.atleast_2d(prompt.modality)
-        bias = (
-            build_calibrated_bias(modality, self.delta)
-            if self.delta > 0.0
-            else None
-        )
-        with no_grad():
-            hidden = self.backbone(token_ids, extra_bias=bias)
-            if self.pooling == "mean":
-                pooled = hidden.mean(axis=1)
-            else:
-                pooled = hidden[:, -1, :]
-        return pooled.detach()
+
+        # Deduplicate identical prompts before the backbone forward.
+        seq_len = token_ids.shape[1]
+        combined = np.concatenate([token_ids, modality], axis=1)
+        unique, inverse = np.unique(combined, axis=0, return_inverse=True)
+        if len(unique) < len(combined):
+            token_ids = np.ascontiguousarray(unique[:, :seq_len])
+            modality = np.ascontiguousarray(unique[:, seq_len:])
+        else:
+            inverse = None
+
+        hidden = self._encode_hidden(token_ids, modality)
+        if self.pooling == "mean":
+            pooled = hidden.data.mean(axis=1)
+        else:
+            pooled = hidden.data[:, -1, :]
+        if inverse is not None:
+            pooled = pooled[inverse]
+        return Tensor(pooled)
 
     def hidden_states(self, prompt: TokenizedPrompt) -> Tensor:
         """Full ``(N, S, D)`` hidden states (used in tests/analysis)."""
         token_ids = np.atleast_2d(prompt.token_ids)
         modality = np.atleast_2d(prompt.modality)
-        bias = (
-            build_calibrated_bias(modality, self.delta)
-            if self.delta > 0.0
-            else None
-        )
-        with no_grad():
-            hidden = self.backbone(token_ids, extra_bias=bias)
-        return hidden.detach()
+        return self._encode_hidden(token_ids, modality).detach()

@@ -66,9 +66,21 @@ class PromptTokenizer:
     value_stride: int = 1
     future_stride: int = 1
 
+    def __post_init__(self):
+        # The template around the values is constant, so its token ids
+        # are resolved once instead of per prompt per variable.
+        self._prefix_arr = np.array(
+            [self.vocab.bos_id]
+            + [self.vocab.word_id(w) for w in ("from", "to", "values", "were")],
+            dtype=np.int64)
+        self._suffix_arr = np.array(
+            [self.vocab.word_id(w) for w in self._suffix_words(0)]
+            + [self.vocab.eos_id],
+            dtype=np.int64)
+
     def _prefix_ids(self, num_values: int) -> tuple[list[int], list[int], list[str]]:
         words = ["from", "to", "values", "were"]
-        ids = [self.vocab.bos_id] + [self.vocab.word_id(w) for w in words]
+        ids = list(map(int, self._prefix_arr))
         modality = [TEXT_MODALITY] * len(ids)
         return ids, modality, words
 
@@ -133,42 +145,79 @@ class PromptTokenizer:
         return TokenizedPrompt(np.array(ids), np.array(modality), text)
 
     # ------------------------------------------------------------------
-    # batched multivariate helpers
+    # batched multivariate helpers (vectorized over variables)
     # ------------------------------------------------------------------
+    def _assemble(self, segments: list[tuple[np.ndarray, int]],
+                  text: str) -> TokenizedPrompt:
+        """Stack ``(ids, modality_tag)`` segments into an ``(N, S)`` batch.
+
+        Each segment's ids are either shared 1-D template ids (broadcast
+        over variables) or a per-variable ``(N, K)`` matrix of value ids.
+        """
+        num_vars = next(ids.shape[0] for ids, _ in segments if ids.ndim == 2)
+        width = sum(ids.shape[-1] for ids, _ in segments)
+        token_ids = np.empty((num_vars, width), dtype=np.int64)
+        modality = np.empty((num_vars, width), dtype=np.int64)
+        offset = 0
+        for ids, tag in segments:
+            stop = offset + ids.shape[-1]
+            token_ids[:, offset:stop] = ids
+            modality[:, offset:stop] = tag
+            offset = stop
+        return TokenizedPrompt(token_ids, modality, text)
+
     def batch_historical(self, history: np.ndarray, horizon: int) -> TokenizedPrompt:
         """Tokenize ``P_HD`` for every variable of an ``(H, N)`` window.
 
         All variables share one template, so sequences align and stack
-        into ``(N, S)`` arrays.
+        into ``(N, S)`` arrays; the value ids for every variable are
+        quantized in one vectorized pass.
         """
-        history = np.asarray(history)
-        prompts = [
-            self.historical_prompt(history[:, n], horizon)
-            for n in range(history.shape[1])
-        ]
-        return _stack_prompts(prompts)
+        history = np.asarray(history, dtype=np.float64)
+        values = history[:: self.value_stride]               # (V, N)
+        value_ids = self.vocab.value_ids(values.T)           # (N, V)
+        text = (
+            "from t-H+1 to t, values were "
+            + " ".join(f"{v:.2f}" for v in values[:, 0])
+            + f" every {self.frequency_minutes} minutes."
+            + f" forecast the next {horizon} minutes"
+        )
+        return self._assemble(
+            [(self._prefix_arr, TEXT_MODALITY),
+             (value_ids, NUMERIC_MODALITY),
+             (self._suffix_arr, TEXT_MODALITY)],
+            text,
+        )
 
     def batch_ground_truth(
         self, history: np.ndarray, future: np.ndarray
     ) -> TokenizedPrompt:
         """Tokenize ``P_GT`` for every variable of aligned windows."""
-        history = np.asarray(history)
-        future = np.asarray(future)
+        history = np.asarray(history, dtype=np.float64)
+        future = np.asarray(future, dtype=np.float64)
         if history.shape[1] != future.shape[1]:
             raise ValueError("history and future must share the variable axis")
-        prompts = [
-            self.ground_truth_prompt(history[:, n], future[:, n])
-            for n in range(history.shape[1])
-        ]
-        return _stack_prompts(prompts)
+        hist_values = history[:: self.value_stride]          # (V, N)
+        future_values = future[:: self.future_stride]        # (F, N)
+        hist_ids = self.vocab.value_ids(hist_values.T)       # (N, V)
+        future_ids = self.vocab.value_ids(future_values.T)   # (N, F)
+        sep = np.array([self.vocab.sep_id], dtype=np.int64)
+        eos = np.array([self.vocab.eos_id], dtype=np.int64)
+        text = (
+            "from t-H+1 to t, values were "
+            + " ".join(f"{v:.2f}" for v in hist_values[:, 0])
+            + f" every {self.frequency_minutes} minutes."
+            + f" forecast the next {len(future)} minutes"
+            + ": " + " ".join(f"{v:.2f}" for v in future_values[:, 0])
+        )
+        return self._assemble(
+            [(self._prefix_arr, TEXT_MODALITY),
+             (hist_ids, NUMERIC_MODALITY),
+             (self._suffix_arr[:-1], TEXT_MODALITY),  # template sans eos
+             (sep, TEXT_MODALITY),
+             (future_ids, NUMERIC_MODALITY),
+             (eos, TEXT_MODALITY)],
+            text,
+        )
 
 
-def _stack_prompts(prompts: list[TokenizedPrompt]) -> TokenizedPrompt:
-    lengths = {len(p) for p in prompts}
-    if len(lengths) != 1:
-        raise ValueError(f"prompts have inconsistent lengths: {sorted(lengths)}")
-    return TokenizedPrompt(
-        np.stack([p.token_ids for p in prompts]),
-        np.stack([p.modality for p in prompts]),
-        prompts[0].text if prompts else "",
-    )

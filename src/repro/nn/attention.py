@@ -20,11 +20,21 @@ __all__ = ["MultiHeadAttention", "causal_mask"]
 
 NEG_INF = -1e9
 
+_MASK_CACHE: dict[int, np.ndarray] = {}
+
 
 def causal_mask(length: int) -> np.ndarray:
-    """Additive causal bias: 0 on/below the diagonal, ``-inf`` above."""
-    mask = np.zeros((length, length), dtype=np.float32)
-    mask[np.triu_indices(length, k=1)] = NEG_INF
+    """Additive causal bias: 0 on/below the diagonal, ``-inf`` above.
+
+    Masks are cached by length and returned read-only — every CLM
+    forward over same-length prompts reuses one array.
+    """
+    mask = _MASK_CACHE.get(length)
+    if mask is None:
+        mask = np.zeros((length, length), dtype=np.float32)
+        mask[np.triu_indices(length, k=1)] = NEG_INF
+        mask.setflags(write=False)
+        _MASK_CACHE[length] = mask
     return mask
 
 
@@ -42,7 +52,10 @@ class MultiHeadAttention(Module):
 
     The forward pass optionally returns the post-softmax attention
     weights averaged across heads, which TimeKD's correlation
-    distillation (Eq. 24) consumes.
+    distillation (Eq. 24) consumes.  ``last_attention`` is only
+    materialized when those weights are requested (or when
+    ``store_attention`` is set for inspection) — the head-average is
+    pure overhead on the frozen-CLM hot path otherwise.
     """
 
     def __init__(self, dim: int, num_heads: int, bias: bool = True):
@@ -56,6 +69,7 @@ class MultiHeadAttention(Module):
         self.k_proj = Linear(dim, dim, bias=bias)
         self.v_proj = Linear(dim, dim, bias=bias)
         self.out_proj = Linear(dim, dim, bias=bias)
+        self.store_attention = False
         self.last_attention: np.ndarray | None = None
 
     def _split_heads(self, x: Tensor) -> Tensor:
@@ -101,10 +115,13 @@ class MultiHeadAttention(Module):
         if attn_bias is not None:
             scores = scores + Tensor(np.asarray(attn_bias, dtype=np.float32))
         weights = scores.softmax(axis=-1)
-        self.last_attention = weights.data.mean(axis=1)
 
         context = self._merge_heads(weights.matmul(v))
         output = self.out_proj(context)
         if return_weights:
-            return output, weights.mean(axis=1)
+            averaged = weights.mean(axis=1)
+            self.last_attention = averaged.data
+            return output, averaged
+        if self.store_attention:
+            self.last_attention = weights.data.mean(axis=1)
         return output

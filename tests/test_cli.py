@@ -38,6 +38,23 @@ class TestCLI:
         with pytest.raises(SystemExit):
             main(["train", "--dataset", "NotADataset"])
 
+    def test_help_documents_embedding_flags(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["train", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "--embedding-cache" in out
+        assert "--no-precompute" in out
+
+    def test_no_precompute_flag_trains(self, tmp_path, capsys):
+        cache = os.path.join(tmp_path, "emb")
+        code = main(["train", "--dataset", "ETTm1", "--horizon", "12",
+                     "--embedding-cache", cache, "--no-precompute"]
+                    + MICRO_ARGS)
+        assert code == 0
+        assert "test MSE=" in capsys.readouterr().out
+        assert any(name.endswith(".npz") for name in os.listdir(cache))
+
     def test_command_required(self):
         with pytest.raises(SystemExit):
             main([])
