@@ -1,7 +1,8 @@
 """Benchmark: regenerate paper Figure 7 (accuracy vs data fraction).
 
-Expected shape: MSE at 100% of the training data is lower than at 20%,
-and the overall trend is downward as data grows.
+Expected shape: the kept training windows scale linearly with the
+fraction; at full scale (uncapped epochs) MSE at 100% of the training
+data is lower than at 20% and the overall trend is downward.
 """
 
 from __future__ import annotations
@@ -26,6 +27,18 @@ def test_figure7_scalability(benchmark, bench_scale):
     mses = [r["mse"] for r in rows]
     assert all(np.isfinite(m) for m in mses)
 
-    assert mses[-1] < mses[0], "more data must improve accuracy"
-    # downward trend: second half of the curve below the first half
-    assert np.mean(mses[-2:]) <= np.mean(mses[:2])
+    # The figure's x-axis itself: the kept training windows scale
+    # linearly with the fraction (train_fraction counts windows, not
+    # raw rows, so the H+M overhead cannot skew the few-shot points).
+    windows = [r["train_windows"] for r in rows]
+    for fraction, count in zip(fractions, windows):
+        assert abs(count - fraction * windows[-1]) <= 1, (
+            f"fraction {fraction} kept {count} of {windows[-1]} windows")
+
+    if bench_scale.max_batches is None:
+        # Accuracy ordering is only meaningful with uncapped epochs:
+        # with max_batches set, every fraction trains on the same
+        # number of samples and the curve is noise.
+        assert mses[-1] < mses[0], "more data must improve accuracy"
+        # downward trend: second half of the curve below the first half
+        assert np.mean(mses[-2:]) <= np.mean(mses[:2])

@@ -1,0 +1,99 @@
+"""BENCH: serving throughput — sequential batch-1 vs coalesced serving.
+
+The deployment claim behind ``repro.serve``: the student is
+batch-independent, so a micro-batching queue that coalesces concurrent
+single-window requests into one batched forward must return *bitwise
+identical* forecasts while amortizing the per-forward layer overhead
+across the batch.  This benchmark records requests/sec for both modes
+and asserts the coalesced path wins by at least 3x.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.core import TimeKDConfig
+from repro.core.student import StudentModel
+from repro.data import StandardScaler
+from repro.serve import ForecastService, save_student_artifact
+
+NUM_REQUESTS = 256
+
+
+def _bench_dir() -> str:
+    root = os.environ.get("REPRO_CACHE",
+                          os.path.join(os.getcwd(), "artifacts"))
+    path = os.path.join(root, "bench")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def test_serve_coalescing_throughput(benchmark, tmp_path_factory):
+    artifact_dir = str(tmp_path_factory.mktemp("serve-bench"))
+    config = TimeKDConfig(history_length=96, horizon=24, num_variables=7,
+                          d_model=32, num_heads=2, num_layers=1, ffn_dim=64)
+    student = StudentModel(config)
+    student.eval()
+    rng = np.random.default_rng(0)
+    scaler = StandardScaler().fit(rng.normal(1.0, 2.0, size=(500, 7)))
+    save_student_artifact(
+        os.path.join(artifact_dir, "ettm1-h24.npz"), student, config,
+        scaler=scaler, metadata={"dataset": "ETTm1"})
+    windows = rng.normal(
+        size=(NUM_REQUESTS, config.history_length,
+              config.num_variables)).astype(np.float32)
+
+    def run() -> dict:
+        # Sequential batch-1 serving: every request waits for its own
+        # forward — the baseline a naive deployment pays.
+        with ForecastService(artifact_dir) as service:
+            service.predict(windows[0])  # lazy-load + warm-up
+            start = time.perf_counter()
+            sequential = [service.predict(w) for w in windows]
+            sequential_s = time.perf_counter() - start
+            assert service.stats.max_coalesced == 1
+
+        # Coalesced serving: the same requests submitted concurrently;
+        # the queue folds them into large batched forwards.
+        with ForecastService(artifact_dir, max_batch=64) as service:
+            service.predict(windows[0])
+            start = time.perf_counter()
+            service.pause()  # emulate a burst of concurrent clients
+            futures = [service.submit(w) for w in windows]
+            service.resume()
+            coalesced = [f.result() for f in futures]
+            coalesced_s = time.perf_counter() - start
+            assert service.stats.max_coalesced > 1
+            max_coalesced = service.stats.max_coalesced
+            batches = service.stats.batches
+
+        for a, b in zip(sequential, coalesced):
+            np.testing.assert_array_equal(
+                a, b, err_msg="coalesced serving must be bitwise "
+                "identical to batch-1 serving")
+
+        sequential_rps = NUM_REQUESTS / max(sequential_s, 1e-9)
+        coalesced_rps = NUM_REQUESTS / max(coalesced_s, 1e-9)
+        assert coalesced_rps >= 3.0 * sequential_rps, (
+            f"expected >= 3x requests/sec from micro-batching, got "
+            f"{sequential_rps:.1f} -> {coalesced_rps:.1f} req/s")
+        return {
+            "requests": NUM_REQUESTS,
+            "sequential_s": sequential_s,
+            "coalesced_s": coalesced_s,
+            "sequential_rps": sequential_rps,
+            "coalesced_rps": coalesced_rps,
+            "speedup": coalesced_rps / sequential_rps,
+            "coalesced_batches": batches,
+            "max_coalesced": max_coalesced,
+        }
+
+    result = run_once(benchmark, run)
+    with open(os.path.join(_bench_dir(), "perf_serve.json"), "w") as fh:
+        json.dump(result, fh, indent=2)

@@ -21,6 +21,9 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument("--epochs", type=int, default=10,
                         help="student (distillation) epochs")
     parser.add_argument("--teacher-epochs", type=int, default=5)
+    parser.add_argument("--artifact", default=None, metavar="PATH",
+                        help="also save a deployable student artifact "
+                             "bundle, reload it, and serve one request")
     args = parser.parse_args(argv)
     # 1. Load a dataset (synthetic ETTm1 stand-in: 7 electricity
     #    variables sampled every 15 minutes) and window it: 96 history
@@ -59,6 +62,26 @@ def main(argv: list[str] | None = None) -> None:
     print(f"forecast shape: {forecast.shape}")
     worst = np.abs(forecast - future).mean(axis=0).argmax()
     print(f"hardest variable this window: {series.columns[worst]}")
+
+    # 6. (optional) Deployment round-trip: save a self-contained student
+    #    artifact bundle, restore it without trainer/CLM/dataset, and
+    #    answer one request through the coalescing ForecastService.
+    if args.artifact:
+        import os
+
+        from repro.serve import ForecastService
+
+        model.save(args.artifact)
+        print(f"artifact bundle saved to {args.artifact}")
+        deployed = TimeKDForecaster.from_artifact(args.artifact)
+        np.testing.assert_array_equal(deployed.predict(history), forecast)
+        print("reloaded student matches in-memory predictions bitwise")
+        with ForecastService(os.path.dirname(
+                os.path.abspath(args.artifact))) as service:
+            served = service.predict(history, dataset=series.name,
+                                     horizon=24)
+        np.testing.assert_array_equal(served, forecast)
+        print(f"serve-mode forecast shape: {np.asarray(served).shape}")
 
 
 if __name__ == "__main__":

@@ -42,15 +42,15 @@ def main() -> None:
     ]
     print(format_table(rows, title="Zero-shot transfer, horizon 96"))
 
-    # deployment: persist the student only — the teacher and the frozen
-    # LLM never ship (this is TimeKD's inference-efficiency story)
+    # deployment: persist the student artifact bundle only — the teacher
+    # and the frozen LLM never ship (this is TimeKD's inference-
+    # efficiency story); restoring it builds no trainer and no CLM
     with tempfile.TemporaryDirectory() as tmp:
         path = os.path.join(tmp, "student.npz")
         model.save(path)
         model.compact()  # drop teacher + CLM from memory
 
-        deployed = TimeKDForecaster(model.config)
-        deployed.load(path, target)
+        deployed = TimeKDForecaster.from_artifact(path)
         metrics = deployed.evaluate(target.test)
         print(f"\nreloaded student on ETTh2: MSE={metrics['mse']:.4f} "
               f"MAE={metrics['mae']:.4f}")

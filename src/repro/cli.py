@@ -1,19 +1,31 @@
-"""Command-line interface for training and forecasting with TimeKD.
+"""Command-line interface for training, serving and forecasting TimeKD.
 
 Usage::
 
     python -m repro.cli train --dataset ETTm1 --horizon 24 \
         --out artifacts/models/ettm1_h24.npz
-    python -m repro.cli evaluate --dataset ETTm1 --horizon 24 \
-        --weights artifacts/models/ettm1_h24.npz
+    python -m repro.cli evaluate --dataset ETTm1 \
+        --artifact artifacts/models/ettm1_h24.npz
+    python -m repro.cli predict --artifact artifacts/models/ettm1_h24.npz \
+        --dataset ETTm1 --raw
+    python -m repro.cli serve --artifacts artifacts/models \
+        --dataset ETTm1 --horizon 24 --requests 64
     python -m repro.cli compare --dataset Exchange --horizon 24 \
-        --models TimeKD iTransformer PatchTST
+        --models TimeKD iTransformer
+
+``train --out`` writes a self-contained student artifact bundle
+(weights + config + scaler + provenance); ``evaluate``/``predict``/
+``serve`` restore students from bundles without ever constructing a
+trainer or pretraining a CLM.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
+
+import numpy as np
 
 from .core import TimeKDConfig, TimeKDForecaster
 from .data import dataset_names, load_dataset, make_forecasting_data
@@ -54,10 +66,13 @@ def _scale(args) -> ExperimentScale:
         epochs=args.epochs, seed=args.seed)
 
 
-def _data(args):
+def _data(args, history_length: int | None = None,
+          horizon: int | None = None):
     series = load_dataset(args.dataset, length=args.length)
-    return make_forecasting_data(series, history_length=args.history,
-                                 horizon=args.horizon)
+    return make_forecasting_data(
+        series,
+        history_length=history_length or args.history,
+        horizon=horizon or args.horizon)
 
 
 def _embedding_options(args) -> dict:
@@ -90,22 +105,106 @@ def _cmd_train(args) -> int:
     metrics = model.evaluate(data.test)
     print(f"test MSE={metrics['mse']:.4f} MAE={metrics['mae']:.4f}")
     if args.out:
-        model.save(args.out)
-        print(f"student saved to {args.out}")
+        model.save(args.out, metadata={
+            "test_mse": metrics["mse"], "test_mae": metrics["mae"]})
+        print(f"student artifact saved to {args.out}")
     return 0
 
 
 def _cmd_evaluate(args) -> int:
-    data = _data(args)
-    config = TimeKDConfig(
-        history_length=args.history, horizon=args.horizon,
-        d_model=args.d_model, seed=args.seed,
-        frequency_minutes=data.frequency_minutes,
-        num_variables=data.num_variables)
-    model = TimeKDForecaster(config)
-    model.load(args.weights, data)
+    # Shapes come from the bundle's own config — the artifact is the
+    # source of truth, so there are no --horizon/--history flags to
+    # half-honor.
+    model = TimeKDForecaster.from_artifact(args.artifact)
+    config = model.config
+    data = _data(args, history_length=config.history_length,
+                 horizon=config.horizon)
     metrics = model.evaluate(data.test)
     print(f"test MSE={metrics['mse']:.4f} MAE={metrics['mae']:.4f}")
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    from .serve import read_artifact_info
+
+    config, metadata = read_artifact_info(args.artifact)
+    if args.input:
+        windows = np.load(args.input)
+    else:
+        data = _data(args, history_length=config.history_length,
+                     horizon=config.horizon)
+        windows, _ = data.test[-1]
+        if args.raw:
+            windows = data.scaler.inverse_transform(windows)
+    if args.serve:
+        # Serve-mode prediction: route the windows through a
+        # ForecastService built over the artifact's directory (the
+        # service loads the bundle itself; no second student here).
+        import os
+
+        from .serve import ForecastService
+
+        with ForecastService(os.path.dirname(os.path.abspath(
+                args.artifact))) as service:
+            batch = windows[None] if windows.ndim == 2 else windows
+            dataset = metadata.get("dataset") or None
+            futures = [service.submit(window, dataset=dataset,
+                                      horizon=config.horizon,
+                                      raw_values=args.raw)
+                       for window in batch]
+            forecast = np.stack([f.result() for f in futures])
+            if windows.ndim == 2:
+                forecast = forecast[0]
+    else:
+        model = TimeKDForecaster.from_artifact(args.artifact)
+        forecast = model.predict(windows, raw_values=args.raw)
+    print(f"forecast shape: {np.asarray(forecast).shape} "
+          f"(horizon {config.horizon}, "
+          f"{config.num_variables} variables)")
+    if args.out:
+        np.save(args.out, np.asarray(forecast))
+        print(f"forecast saved to {args.out}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .serve import ForecastService, read_artifact_info
+
+    with ForecastService(args.artifacts, max_models=args.max_models,
+                         max_batch=args.max_batch) as service:
+        keys = service.keys()
+        print(f"serving {len(keys)} artifact(s) from {args.artifacts}: "
+              f"{sorted(keys)}")
+        key = service.resolve_key(args.dataset, args.horizon)
+        if args.input:
+            windows = np.load(args.input)
+            if windows.ndim == 2:
+                windows = windows[None]
+        else:
+            config, _ = read_artifact_info(service.path_for(key))
+            series = load_dataset(key[0], length=args.length)
+            data = make_forecasting_data(
+                series, history_length=config.history_length,
+                horizon=config.horizon)
+            count = min(args.requests, len(data.test))
+            windows = np.stack(
+                [data.test[i][0] for i in range(count)])
+            if args.raw:
+                windows = data.scaler.inverse_transform(windows)
+        start = time.perf_counter()
+        futures = [service.submit(window, dataset=key[0],
+                                  horizon=key[1], raw_values=args.raw)
+                   for window in windows]
+        forecasts = np.stack([f.result() for f in futures])
+        elapsed = time.perf_counter() - start
+        stats = service.stats.as_dict()
+    print(f"{len(windows)} requests in {elapsed:.3f}s "
+          f"({len(windows) / max(elapsed, 1e-9):.1f} req/s), "
+          f"{stats['batches']} batches, "
+          f"max coalesced {stats['max_coalesced']}")
+    if args.out:
+        np.save(args.out, forecasts)
+        print(f"forecasts saved to {args.out}")
     return 0
 
 
@@ -129,14 +228,62 @@ def main(argv: list[str] | None = None) -> int:
 
     train = commands.add_parser("train", help="train TimeKD on a dataset")
     _add_common(train)
-    train.add_argument("--out", default=None, help="save student weights")
+    train.add_argument("--out", default=None,
+                       help="save a deployable student artifact bundle")
     train.set_defaults(func=_cmd_train)
 
-    evaluate = commands.add_parser("evaluate",
-                                   help="evaluate saved student weights")
-    _add_common(evaluate)
-    evaluate.add_argument("--weights", required=True)
+    evaluate = commands.add_parser(
+        "evaluate", help="evaluate a saved student artifact bundle")
+    evaluate.add_argument("--dataset", required=True,
+                          choices=dataset_names())
+    evaluate.add_argument("--length", type=int, default=None,
+                          help="series length override (default per "
+                               "dataset)")
+    evaluate.add_argument("--artifact", required=True,
+                          help="student artifact bundle from train --out; "
+                               "window shapes come from the bundle's config")
     evaluate.set_defaults(func=_cmd_evaluate)
+
+    predict = commands.add_parser(
+        "predict", help="forecast from a saved student artifact bundle")
+    predict.add_argument("--artifact", required=True,
+                         help="student artifact bundle from train --out")
+    predict.add_argument("--dataset", default="ETTm1",
+                         choices=dataset_names(),
+                         help="dataset supplying the input window when "
+                              "--input is not given")
+    predict.add_argument("--length", type=int, default=None)
+    predict.add_argument("--input", default=None, metavar="NPY",
+                         help=".npy file of history windows (H, N) or "
+                              "(B, H, N)")
+    predict.add_argument("--raw", action="store_true",
+                         help="treat inputs/outputs as raw data units "
+                              "(apply the bundled scaler)")
+    predict.add_argument("--serve", action="store_true",
+                         help="route the prediction through a "
+                              "ForecastService (coalescing serve path)")
+    predict.add_argument("--out", default=None, help="save forecasts (.npy)")
+    predict.set_defaults(func=_cmd_predict)
+
+    serve = commands.add_parser(
+        "serve", help="batch-serve requests from a directory of artifacts")
+    serve.add_argument("--artifacts", required=True,
+                       help="directory of student artifact bundles")
+    serve.add_argument("--dataset", default=None, choices=dataset_names(),
+                       help="registry key of the model to serve")
+    serve.add_argument("--horizon", type=int, default=None)
+    serve.add_argument("--length", type=int, default=None)
+    serve.add_argument("--input", default=None, metavar="NPY",
+                       help=".npy file of request windows (B, H, N); "
+                            "defaults to test windows of --dataset")
+    serve.add_argument("--requests", type=int, default=64,
+                       help="number of test-window requests when --input "
+                            "is not given")
+    serve.add_argument("--raw", action="store_true")
+    serve.add_argument("--max-models", type=int, default=4)
+    serve.add_argument("--max-batch", type=int, default=64)
+    serve.add_argument("--out", default=None, help="save forecasts (.npy)")
+    serve.set_defaults(func=_cmd_serve)
 
     compare = commands.add_parser("compare",
                                   help="compare models on one dataset")

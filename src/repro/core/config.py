@@ -6,7 +6,7 @@ here, so experiment code toggles components declaratively.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, fields, replace
 
 __all__ = ["TimeKDConfig"]
 
@@ -102,6 +102,27 @@ class TimeKDConfig:
     def with_updates(self, **changes) -> "TimeKDConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form of every field (JSON-serializable)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, values: dict) -> "TimeKDConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys raise a :class:`ValueError` (a bundle written by an
+        incompatible version must fail loudly, not half-apply); missing
+        keys fall back to field defaults so older bundles keep loading
+        after new fields are added.
+        """
+        known = {field.name for field in fields(cls)}
+        unknown = sorted(set(values) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown TimeKDConfig fields {unknown}; the source was "
+                "probably written by an incompatible version")
+        return cls(**values)
 
     def ablation(self, name: str) -> "TimeKDConfig":
         """Config for a named paper-Figure-6 variant.

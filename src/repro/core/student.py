@@ -14,7 +14,33 @@ from ..nn import Linear, Module, Tensor, TransformerEncoder
 from .config import TimeKDConfig
 from .revin import RevIN
 
-__all__ = ["StudentModel", "StudentOutput"]
+__all__ = ["StudentModel", "StudentOutput", "evaluate_student"]
+
+
+def evaluate_student(student: "StudentModel", dataset,
+                     batch_size: int = 32) -> dict:
+    """MSE/MAE of a student over every window of ``dataset``.
+
+    The shared test protocol behind ``TimeKDTrainer.evaluate`` and
+    ``TimeKDForecaster.evaluate``: the models are batch-independent
+    (RevIN is per-instance), so batched evaluation matches the paper's
+    batch-size-1 protocol numerically while staying CPU-feasible.
+    """
+    from ..data.loader import DataLoader
+    from ..nn import no_grad
+
+    student.eval()
+    total_se, total_ae, count = 0.0, 0.0, 0
+    loader = DataLoader(dataset, batch_size=batch_size, shuffle=False)
+    with no_grad():
+        for history, future in loader:
+            prediction = student(history.astype(np.float32)).prediction
+            diff = prediction.data - future
+            total_se += float((diff ** 2).sum())
+            total_ae += float(np.abs(diff).sum())
+            count += diff.size
+    return {"mse": total_se / max(count, 1),
+            "mae": total_ae / max(count, 1)}
 
 
 class StudentOutput:

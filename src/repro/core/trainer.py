@@ -14,7 +14,6 @@ import zipfile
 
 import numpy as np
 
-from ..data.loader import DataLoader
 from ..data.prompts import PromptFactory
 from ..data.windows import ForecastingData, WindowDataset
 from ..llm import CalibratedLanguageModel, Vocabulary, get_pretrained
@@ -26,7 +25,7 @@ from ..nn.tensor import Tensor
 from .config import TimeKDConfig
 from .distill import pkd_loss
 from .store import EmbeddingStore, embedding_fingerprint, weights_digest
-from .student import StudentModel
+from .student import StudentModel, evaluate_student
 from .teacher import CrossModalityTeacher
 
 __all__ = ["TimeKDTrainer"]
@@ -165,11 +164,22 @@ class TimeKDTrainer:
         )
 
     def _embedding_cache_path(self) -> str | None:
+        """Cache file for the current store, or None when disabled.
+
+        Raises a clear :class:`RuntimeError` when caching is configured
+        but the store has no fingerprint yet (i.e.
+        :meth:`prepare_embeddings` has not run) — the fingerprint names
+        the file, so there is nothing meaningful to read or write.
+        """
         directory = self.config.embedding_cache_dir
         if not directory or not self.config.use_clm:
             return None
+        if self.store.fingerprint is None:
+            raise RuntimeError(
+                "embedding store has no fingerprint yet; call "
+                "prepare_embeddings() (or fit()) before touching the "
+                "disk cache")
         dataset = re.sub(r"[^A-Za-z0-9_.-]+", "_", self.data.name) or "data"
-        assert self.store.fingerprint is not None
         return os.path.join(
             directory, f"{dataset}-train-{self.store.fingerprint}.npz")
 
@@ -203,15 +213,21 @@ class TimeKDTrainer:
                 chunk_size=self.config.precompute_chunk_size,
             )
 
-    def save_embeddings(self) -> None:
+    def save_embeddings(self) -> str | None:
         """Persist whatever the store holds to the configured cache dir.
 
-        A store that was loaded from disk and gained no new windows is
-        not rewritten.
+        Returns the written path, or None when nothing was written
+        (caching disabled, store empty/clean).  A store that was loaded
+        from disk and gained no new windows is not rewritten.  Calling
+        this before :meth:`prepare_embeddings` with caching configured
+        raises a clear :class:`RuntimeError` instead of tripping an
+        assert.
         """
         path = self._embedding_cache_path()
         if path and self.store.dirty and len(self.store) > 0:
             self.store.save(path)
+            return path
+        return None
 
     # ------------------------------------------------------------------
     # Phase A — Algorithm 1
@@ -384,22 +400,11 @@ class TimeKDTrainer:
     def evaluate(self, dataset: WindowDataset, batch_size: int = 32) -> dict:
         """MSE/MAE of the student on every window of ``dataset``.
 
-        The models are batch-independent (RevIN is per-instance), so
-        batched evaluation matches the paper's batch-size-1 protocol
-        numerically while staying CPU-feasible.
+        Delegates to :func:`repro.core.student.evaluate_student`, the
+        shared test protocol.
         """
-        self.student.eval()
-        total_se, total_ae, count = 0.0, 0.0, 0
-        loader = DataLoader(dataset, batch_size=batch_size, shuffle=False)
-        with no_grad():
-            for history, future in loader:
-                prediction = self.student(history.astype(np.float32)).prediction
-                diff = prediction.data - future
-                total_se += float((diff ** 2).sum())
-                total_ae += float(np.abs(diff).sum())
-                count += diff.size
-        return {"mse": total_se / max(count, 1),
-                "mae": total_ae / max(count, 1)}
+        return evaluate_student(self.student, dataset,
+                                batch_size=batch_size)
 
 
 def _indexed_loader(dataset: WindowDataset, config: TimeKDConfig, seed: int):

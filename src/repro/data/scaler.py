@@ -37,6 +37,30 @@ class StandardScaler:
         self._check_fitted()
         return np.asarray(values, dtype=np.float64) * self.std + self.mean
 
+    # ------------------------------------------------------------------
+    # state export / restore (deployable artifact bundles)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Fitted statistics as plain arrays (for artifact bundles)."""
+        self._check_fitted()
+        return {
+            "mean": np.asarray(self.mean, dtype=np.float64),
+            "std": np.asarray(self.std, dtype=np.float64),
+            "eps": np.float64(self.eps),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, np.ndarray]) -> "StandardScaler":
+        """Rebuild a fitted scaler from :meth:`state_dict` output."""
+        scaler = cls(eps=float(state["eps"]))
+        scaler.mean = np.asarray(state["mean"], dtype=np.float64)
+        scaler.std = np.asarray(state["std"], dtype=np.float64)
+        if scaler.mean.shape != scaler.std.shape:
+            raise ValueError(
+                f"scaler state mean/std shapes differ: "
+                f"{scaler.mean.shape} vs {scaler.std.shape}")
+        return scaler
+
     def _check_fitted(self) -> None:
         if self.mean is None or self.std is None:
             raise RuntimeError("scaler used before fit()")

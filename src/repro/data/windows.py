@@ -93,8 +93,12 @@ def make_forecasting_data(
     splits:
         Chronological train/val/test fractions (must sum to 1).
     train_fraction:
-        Keep only the first fraction of the *training* windows — used by
+        Keep only the first fraction of the *training windows* — used by
         the few-shot (Table V) and scalability (Figure 7) experiments.
+        The fraction is applied in window units, not raw rows: a split
+        with ``W`` windows keeps ``max(1, round(W * fraction))`` of
+        them, so ``len(train)`` scales linearly with the fraction even
+        for short series where the ``H + M`` window overhead dominates.
     """
     if abs(sum(splits) - 1.0) > 1e-6:
         raise ValueError("splits must sum to 1")
@@ -111,9 +115,11 @@ def make_forecasting_data(
     test_values = scaled[val_end - lookback:]
 
     if train_fraction < 1.0:
-        keep = max(history_length + horizon,
-                   int(len(train_values) * train_fraction))
-        train_values = train_values[:keep]
+        window = history_length + horizon
+        num_windows = len(train_values) - window + 1
+        keep_windows = max(1, int(round(num_windows * train_fraction)))
+        # First k windows span the first (k - 1) + H + M rows.
+        train_values = train_values[: keep_windows - 1 + window]
 
     return ForecastingData(
         train=WindowDataset(train_values, history_length, horizon),

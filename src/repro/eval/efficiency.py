@@ -62,12 +62,22 @@ def measure_efficiency(
     inference_repeats:
         Averaging repeats for the inference timing.
     """
-    tracemalloc.start()
-    start = time.perf_counter()
-    train_epoch()
-    train_seconds = time.perf_counter() - start
-    _, peak = tracemalloc.get_traced_memory()
-    tracemalloc.stop()
+    # Respect an outer trace: stopping tracemalloc here would silently
+    # kill a caller's own measurement, so only stop what we started and
+    # reset the peak instead when tracing is already live.
+    was_tracing = tracemalloc.is_tracing()
+    if was_tracing:
+        tracemalloc.reset_peak()
+    else:
+        tracemalloc.start()
+    try:
+        start = time.perf_counter()
+        train_epoch()
+        train_seconds = time.perf_counter() - start
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        if not was_tracing:
+            tracemalloc.stop()
 
     infer_once()  # warm-up
     start = time.perf_counter()

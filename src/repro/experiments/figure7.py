@@ -46,7 +46,8 @@ def run(
                                 length=max(scale.data_length, 1600))
             result = strip_private(run_timekd(data, scale))
             result.update(dataset=dataset, horizon=HORIZON,
-                          train_fraction=fraction)
+                          train_fraction=fraction,
+                          train_windows=len(data.train))
             rows.append(result)
     return rows
 

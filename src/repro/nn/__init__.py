@@ -14,7 +14,7 @@ from .module import Module, ModuleList, Parameter, Sequential
 from .norm import LayerNorm, RMSNorm
 from .optim import SGD, Adam, AdamW, Optimizer, clip_grad_norm
 from .scheduler import CosineAnnealingLR, LRScheduler, StepLR, WarmupCosineLR
-from .serialization import load_module, save_module
+from .serialization import load_arrays, load_module, save_arrays, save_module
 from .tensor import Tensor, concatenate, is_grad_enabled, no_grad, stack, tensor, where
 from .transformer import FeedForward, PreLNEncoderLayer, TransformerEncoder
 
@@ -55,4 +55,6 @@ __all__ = [
     "WarmupCosineLR",
     "save_module",
     "load_module",
+    "save_arrays",
+    "load_arrays",
 ]

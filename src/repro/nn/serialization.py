@@ -1,29 +1,54 @@
-"""Save / load module weights as ``.npz`` archives."""
+"""Save / load module weights and raw array states as ``.npz`` archives."""
 
 from __future__ import annotations
 
 import os
+import tempfile
 
 import numpy as np
 
 from .module import Module
 
-__all__ = ["save_module", "load_module"]
+__all__ = ["save_module", "load_module", "save_arrays", "load_arrays"]
+
+
+def save_arrays(path: str, arrays: dict[str, np.ndarray]) -> None:
+    """Atomically write a named-array mapping to ``path`` (npz).
+
+    The archive is staged in a temp file next to the target and moved
+    into place, so readers never observe a half-written bundle.  Like
+    ``np.savez``, a missing ``.npz`` extension is appended — keeping
+    save and load paths symmetric.
+    """
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".npz.tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez(handle, **arrays)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def load_arrays(path: str) -> dict[str, np.ndarray]:
+    """Read every array of an archive written by :func:`save_arrays`."""
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    with np.load(path, allow_pickle=False) as archive:
+        return {name: archive[name] for name in archive.files}
 
 
 def save_module(module: Module, path: str) -> None:
     """Serialize ``module.state_dict()`` to ``path`` (npz)."""
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
-    state = module.state_dict()
-    np.savez(path, **state)
+    save_arrays(path, module.state_dict())
 
 
 def load_module(module: Module, path: str) -> Module:
     """Load weights saved by :func:`save_module` into ``module``."""
-    if not path.endswith(".npz"):
-        path = path + ".npz"
-    with np.load(path) as archive:
-        state = {name: archive[name] for name in archive.files}
-    module.load_state_dict(state)
+    module.load_state_dict(load_arrays(path))
     return module

@@ -1,0 +1,33 @@
+"""``repro.serve`` — deployable student artifacts and batched serving.
+
+Two layers:
+
+* :mod:`repro.serve.artifact` — one self-contained ``.npz`` bundle per
+  deployable student (weights + resolved config + fitted scaler +
+  provenance).  Restoring a bundle never constructs a trainer, a CLM or
+  a dataset — the paper's "only the student runs at inference" story.
+* :mod:`repro.serve.service` — :class:`ForecastService`, an LRU model
+  registry over a bundle directory with a micro-batching queue that
+  coalesces concurrent single-window requests into one batched forward.
+"""
+
+from .artifact import (
+    ARTIFACT_FORMAT_VERSION,
+    ArtifactError,
+    StudentArtifact,
+    load_student_artifact,
+    read_artifact_info,
+    save_student_artifact,
+)
+from .service import ForecastService, ServiceStats
+
+__all__ = [
+    "ARTIFACT_FORMAT_VERSION",
+    "ArtifactError",
+    "StudentArtifact",
+    "load_student_artifact",
+    "read_artifact_info",
+    "save_student_artifact",
+    "ForecastService",
+    "ServiceStats",
+]

@@ -1,0 +1,194 @@
+"""Self-contained student artifact bundles (the deployable unit).
+
+The paper's deployment story is that *only the student* runs at
+inference time.  A bundle is one versioned ``.npz`` file holding
+everything a serving process needs to answer requests — the student
+``state_dict``, the resolved :class:`TimeKDConfig`, the fitted
+:class:`StandardScaler` statistics, and provenance metadata (dataset
+name, embedding fingerprint, metrics) — so restoring a student never
+touches a trainer, a CLM, or the original :class:`ForecastingData`.
+
+Layout of the archive::
+
+    __format__        int, bumped on breaking layout changes
+    __config__        JSON of TimeKDConfig.to_dict()
+    __meta__          JSON provenance dict
+    __digest__        sha256 over the weight arrays (corruption check)
+    scaler/mean|std|eps   fitted scaler statistics (optional)
+    weights/<name>    one entry per student parameter
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import zipfile
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.config import TimeKDConfig
+from ..core.student import StudentModel
+from ..data.scaler import StandardScaler
+from ..nn.serialization import load_arrays, save_arrays
+
+__all__ = [
+    "ARTIFACT_FORMAT_VERSION",
+    "ArtifactError",
+    "StudentArtifact",
+    "save_student_artifact",
+    "load_student_artifact",
+    "read_artifact_info",
+]
+
+#: Bump when the archive layout changes incompatibly.
+ARTIFACT_FORMAT_VERSION = 1
+
+_WEIGHT_PREFIX = "weights/"
+_SCALER_PREFIX = "scaler/"
+
+
+class ArtifactError(RuntimeError):
+    """A student artifact bundle is unreadable, corrupt or mismatched."""
+
+
+def _weights_digest(state: dict[str, np.ndarray]) -> str:
+    digest = hashlib.sha256()
+    for name in sorted(state):
+        digest.update(name.encode("utf-8"))
+        digest.update(np.ascontiguousarray(state[name]).tobytes())
+    return digest.hexdigest()
+
+
+@dataclass
+class StudentArtifact:
+    """In-memory form of a student bundle.
+
+    ``config`` is the fully resolved training config (shapes included),
+    ``state`` the student ``state_dict``, ``scaler`` the fitted
+    dataset scaler (None when the bundle was written without one), and
+    ``metadata`` free-form provenance (dataset, fingerprint, metrics).
+    """
+
+    config: TimeKDConfig
+    state: dict[str, np.ndarray]
+    scaler: StandardScaler | None = None
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def dataset(self) -> str:
+        return str(self.metadata.get("dataset", ""))
+
+    @property
+    def key(self) -> tuple[str, int]:
+        """Registry key ``(dataset, horizon)`` used by the serve layer."""
+        return (self.dataset, self.config.horizon)
+
+    def build_student(self) -> StudentModel:
+        """Instantiate a predict-ready student (eval mode, no trainer)."""
+        student = StudentModel(self.config)
+        try:
+            student.load_state_dict(self.state)
+        except (KeyError, ValueError) as error:
+            raise ArtifactError(
+                f"bundle weights do not match the bundled config "
+                f"(tampered or incompatible artifact): {error}") from error
+        student.eval()
+        return student
+
+
+def save_student_artifact(
+    path: str,
+    student: StudentModel,
+    config: TimeKDConfig,
+    scaler: StandardScaler | None = None,
+    metadata: dict | None = None,
+) -> None:
+    """Write a deployable bundle for ``student`` to ``path`` (npz).
+
+    ``metadata`` should carry provenance — at minimum the dataset name
+    (the serve registry keys bundles by ``(dataset, horizon)``);
+    fingerprints and metrics are recorded verbatim when provided.
+    """
+    state = student.state_dict()
+    payload: dict[str, np.ndarray] = {
+        "__format__": np.int64(ARTIFACT_FORMAT_VERSION),
+        "__config__": np.array(json.dumps(config.to_dict())),
+        "__meta__": np.array(json.dumps(metadata or {}, default=str)),
+        "__digest__": np.array(_weights_digest(state)),
+    }
+    if scaler is not None:
+        for name, value in scaler.state_dict().items():
+            payload[_SCALER_PREFIX + name] = np.asarray(value)
+    for name, value in state.items():
+        payload[_WEIGHT_PREFIX + name] = value
+    save_arrays(path, payload)
+
+
+def read_artifact_info(path: str) -> tuple[TimeKDConfig, dict]:
+    """Read only the config and metadata of a bundle (cheap registry scan)."""
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            config = TimeKDConfig.from_dict(json.loads(str(archive["__config__"])))
+            metadata = json.loads(str(archive["__meta__"]))
+    except (OSError, KeyError, ValueError, zipfile.BadZipFile,
+            json.JSONDecodeError) as error:
+        raise ArtifactError(f"unreadable student artifact {path!r}: "
+                            f"{error}") from error
+    return config, metadata
+
+
+def load_student_artifact(path: str) -> StudentArtifact:
+    """Read a bundle written by :func:`save_student_artifact`.
+
+    Raises :class:`ArtifactError` — with the underlying cause in the
+    message — for truncated/corrupt archives, missing entries, format
+    version mismatches, and weight digests that no longer match.
+    """
+    try:
+        arrays = load_arrays(path)
+    except (OSError, ValueError, zipfile.BadZipFile) as error:
+        raise ArtifactError(
+            f"cannot read student artifact {path!r} (corrupt or "
+            f"truncated): {error}") from error
+    try:
+        version = int(arrays.pop("__format__"))
+        config_json = str(arrays.pop("__config__"))
+        meta_json = str(arrays.pop("__meta__"))
+        digest = str(arrays.pop("__digest__"))
+    except KeyError as error:
+        raise ArtifactError(
+            f"{path!r} is not a student artifact bundle: missing entry "
+            f"{error}") from error
+    if version != ARTIFACT_FORMAT_VERSION:
+        raise ArtifactError(
+            f"artifact format {version} of {path!r} is not supported "
+            f"(this build reads format {ARTIFACT_FORMAT_VERSION})")
+    try:
+        config = TimeKDConfig.from_dict(json.loads(config_json))
+        metadata = json.loads(meta_json)
+    except (TypeError, ValueError) as error:
+        raise ArtifactError(
+            f"invalid config/metadata in {path!r}: {error}") from error
+
+    state = {name[len(_WEIGHT_PREFIX):]: value
+             for name, value in arrays.items()
+             if name.startswith(_WEIGHT_PREFIX)}
+    if not state:
+        raise ArtifactError(f"{path!r} holds no student weights")
+    if _weights_digest(state) != digest:
+        raise ArtifactError(
+            f"weight digest mismatch in {path!r}: the bundle is corrupt")
+
+    scaler_state = {name[len(_SCALER_PREFIX):]: value
+                    for name, value in arrays.items()
+                    if name.startswith(_SCALER_PREFIX)}
+    scaler = None
+    if scaler_state:
+        try:
+            scaler = StandardScaler.from_state(scaler_state)
+        except (KeyError, ValueError) as error:
+            raise ArtifactError(
+                f"invalid scaler state in {path!r}: {error}") from error
+    return StudentArtifact(config=config, state=state, scaler=scaler,
+                           metadata=metadata)

@@ -1,0 +1,303 @@
+"""Batched student serving: LRU model registry + micro-batching queue.
+
+:class:`ForecastService` is the process-level serving layer the ROADMAP
+north-star asks for: it lazily loads student artifact bundles from a
+directory, keeps at most ``max_models`` of them resident (LRU), and
+coalesces concurrent single-window requests for the same model into one
+batched student forward.  The student is batch-independent (RevIN is
+per-instance, every matmul runs the same per-slice GEMM), so a coalesced
+forward is *bitwise identical* to batch-1 serving — only faster, because
+B windows share one pass of Python/layer overhead.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.student import StudentModel
+from .artifact import (
+    ArtifactError,
+    StudentArtifact,
+    load_student_artifact,
+    read_artifact_info,
+)
+
+__all__ = ["ForecastService", "ServiceStats"]
+
+
+@dataclass
+class ServiceStats:
+    """Counters exposed for benchmarks and monitoring (O(1) space)."""
+
+    requests: int = 0
+    batches: int = 0
+    served: int = 0
+    max_coalesced: int = 0
+    loads: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "max_coalesced": self.max_coalesced,
+            "loads": self.loads,
+            "evictions": self.evictions,
+            "mean_batch": self.served / self.batches if self.batches else 0.0,
+        }
+
+
+class _Request:
+    __slots__ = ("history", "raw_values", "future")
+
+    def __init__(self, history: np.ndarray, raw_values: bool):
+        self.history = history
+        self.raw_values = raw_values
+        self.future: Future = Future()
+
+
+class _LoadedModel:
+    __slots__ = ("artifact", "student")
+
+    def __init__(self, artifact: StudentArtifact, student: StudentModel):
+        self.artifact = artifact
+        self.student = student
+
+
+class ForecastService:
+    """Serve student forecasts from a directory of artifact bundles.
+
+    Parameters
+    ----------
+    artifact_dir:
+        Directory scanned for ``.npz`` student bundles.  Each bundle is
+        indexed by its ``(dataset, horizon)`` key; two bundles claiming
+        the same key keep the lexicographically last path (stable, and
+        re-scans pick up replacements).
+    max_models:
+        Resident-model cap; least-recently-used bundles are evicted.
+    max_batch:
+        Upper bound on how many queued requests one forward coalesces.
+
+    Requests enter through :meth:`submit` (returns a
+    :class:`~concurrent.futures.Future`) or the blocking :meth:`predict`.
+    A single worker thread drains the queue: everything pending for one
+    model becomes one batched forward, so N concurrent clients cost one
+    pass of layer overhead instead of N.
+    """
+
+    def __init__(self, artifact_dir: str, max_models: int = 4,
+                 max_batch: int = 64):
+        if max_models < 1:
+            raise ValueError("max_models must be >= 1")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.artifact_dir = artifact_dir
+        self.max_models = int(max_models)
+        self.max_batch = int(max_batch)
+        self.stats = ServiceStats()
+
+        self._paths: dict[tuple[str, int], str] = {}
+        self._models: OrderedDict[tuple[str, int], _LoadedModel] = OrderedDict()
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._pending: OrderedDict[tuple[str, int], list[_Request]] = OrderedDict()
+        self._paused = False
+        self._closed = False
+        self.scan()
+        self._worker = threading.Thread(
+            target=self._serve_loop, name="forecast-service", daemon=True)
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    # registry
+    # ------------------------------------------------------------------
+    def scan(self) -> dict[tuple[str, int], str]:
+        """(Re)index the artifact directory; returns the key → path map.
+
+        Unreadable files are skipped — a half-written bundle must not
+        take the service down.
+        """
+        paths: dict[tuple[str, int], str] = {}
+        if os.path.isdir(self.artifact_dir):
+            for name in sorted(os.listdir(self.artifact_dir)):
+                if not name.endswith(".npz"):
+                    continue
+                path = os.path.join(self.artifact_dir, name)
+                try:
+                    config, metadata = read_artifact_info(path)
+                except ArtifactError:
+                    continue
+                key = (str(metadata.get("dataset", "")), config.horizon)
+                paths[key] = path
+        with self._lock:
+            self._paths = paths
+        return dict(paths)
+
+    def keys(self) -> list[tuple[str, int]]:
+        with self._lock:
+            return list(self._paths)
+
+    def path_for(self, key: tuple[str, int]) -> str:
+        """Bundle path registered for ``key``."""
+        with self._lock:
+            path = self._paths.get(key)
+        if path is None:
+            raise KeyError(f"no artifact registered for {key!r}")
+        return path
+
+    def resolve_key(self, dataset: str | None = None,
+                    horizon: int | None = None) -> tuple[str, int]:
+        with self._lock:
+            keys = list(self._paths)
+        if dataset is None and horizon is None and len(keys) == 1:
+            return keys[0]
+        matches = [k for k in keys
+                   if (dataset is None or k[0] == dataset)
+                   and (horizon is None or k[1] == horizon)]
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            raise KeyError(
+                f"no artifact for dataset={dataset!r} horizon={horizon!r} "
+                f"in {self.artifact_dir!r}; available: {sorted(keys)}")
+        raise KeyError(
+            f"ambiguous request dataset={dataset!r} horizon={horizon!r}; "
+            f"matches {sorted(matches)} — pass both dataset and horizon")
+
+    def _get_model(self, key: tuple[str, int]) -> _LoadedModel:
+        """Fetch (loading lazily, LRU-evicting) the model for ``key``."""
+        with self._lock:
+            model = self._models.get(key)
+            if model is not None:
+                self._models.move_to_end(key)
+                return model
+            path = self._paths.get(key)
+        if path is None:
+            raise KeyError(f"no artifact registered for {key!r}")
+        artifact = load_student_artifact(path)
+        model = _LoadedModel(artifact, artifact.build_student())
+        with self._lock:
+            self._models[key] = model
+            self._models.move_to_end(key)
+            self.stats.loads += 1
+            while len(self._models) > self.max_models:
+                self._models.popitem(last=False)
+                self.stats.evictions += 1
+        return model
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+    def submit(self, history: np.ndarray, dataset: str | None = None,
+               horizon: int | None = None,
+               raw_values: bool = False) -> Future:
+        """Enqueue one ``(H, N)`` window; resolves to a ``(M, N)`` forecast.
+
+        ``raw_values=True`` treats the window as unscaled data: the
+        bundled scaler z-scales it on the way in and inverse-transforms
+        the forecast on the way out.
+        """
+        key = self.resolve_key(dataset, horizon)
+        model = self._get_model(key)
+        config = model.artifact.config
+        history = np.asarray(history, dtype=np.float32)
+        expected = (config.history_length, config.num_variables)
+        if history.shape != expected:
+            raise ValueError(
+                f"request window for {key!r} must have shape {expected}, "
+                f"got {history.shape}")
+        if raw_values and model.artifact.scaler is None:
+            raise ValueError(
+                f"artifact for {key!r} was saved without a scaler; "
+                "raw-value requests are unavailable")
+        request = _Request(history, raw_values)
+        with self._wake:
+            if self._closed:
+                raise RuntimeError("ForecastService is closed")
+            self._pending.setdefault(key, []).append(request)
+            self.stats.requests += 1
+            self._wake.notify()
+        return request.future
+
+    def predict(self, history: np.ndarray, dataset: str | None = None,
+                horizon: int | None = None,
+                raw_values: bool = False) -> np.ndarray:
+        """Blocking single-window convenience around :meth:`submit`."""
+        return self.submit(history, dataset=dataset, horizon=horizon,
+                           raw_values=raw_values).result()
+
+    # ------------------------------------------------------------------
+    # worker
+    # ------------------------------------------------------------------
+    def pause(self) -> None:
+        """Hold the worker so queued requests accumulate (benchmarking)."""
+        with self._wake:
+            self._paused = True
+
+    def resume(self) -> None:
+        with self._wake:
+            self._paused = False
+            self._wake.notify_all()
+
+    def _serve_loop(self) -> None:
+        while True:
+            with self._wake:
+                while (self._paused or not self._pending) and not self._closed:
+                    self._wake.wait()
+                if not self._pending:
+                    return  # closed and drained
+                key, queue = next(iter(self._pending.items()))
+                batch = queue[: self.max_batch]
+                del queue[: len(batch)]
+                if not queue:
+                    del self._pending[key]
+                self.stats.batches += 1
+                self.stats.served += len(batch)
+                self.stats.max_coalesced = max(
+                    self.stats.max_coalesced, len(batch))
+            try:
+                self._run_batch(key, batch)
+            except BaseException as error:  # noqa: BLE001 — fail futures
+                for request in batch:
+                    if not request.future.done():
+                        request.future.set_exception(error)
+
+    def _run_batch(self, key: tuple[str, int], batch: list[_Request]) -> None:
+        model = self._get_model(key)
+        scaler = model.artifact.scaler
+        histories = []
+        for request in batch:
+            window = request.history
+            if request.raw_values:
+                window = scaler.transform(window).astype(np.float32)
+            histories.append(window)
+        predictions = model.student.predict(np.stack(histories))
+        for request, prediction in zip(batch, predictions):
+            if request.raw_values:
+                prediction = scaler.inverse_transform(prediction)
+            request.future.set_result(prediction)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the worker after draining already-queued requests."""
+        with self._wake:
+            if self._closed:
+                return
+            self._closed = True
+            self._wake.notify_all()
+        self._worker.join()
+
+    def __enter__(self) -> "ForecastService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -14,18 +14,37 @@ MICRO_ARGS = ["--length", "500", "--epochs", "1", "--d-model", "16"]
 
 
 class TestCLI:
-    def test_train_and_evaluate(self, tmp_path, capsys):
-        out = os.path.join(tmp_path, "student.npz")
+    def test_train_evaluate_predict_serve(self, tmp_path, capsys):
+        out = os.path.join(tmp_path, "models", "ettm1-h12.npz")
         code = main(["train", "--dataset", "ETTm1", "--horizon", "12",
                      "--out", out] + MICRO_ARGS)
         assert code == 0
         assert os.path.exists(out)
         assert "test MSE=" in capsys.readouterr().out
 
-        code = main(["evaluate", "--dataset", "ETTm1", "--horizon", "12",
-                     "--weights", out] + MICRO_ARGS)
+        code = main(["evaluate", "--dataset", "ETTm1", "--length", "500",
+                     "--artifact", out])
         assert code == 0
         assert "test MSE=" in capsys.readouterr().out
+
+        preds = os.path.join(tmp_path, "preds.npy")
+        code = main(["predict", "--artifact", out, "--dataset", "ETTm1",
+                     "--length", "500", "--raw", "--out", preds])
+        assert code == 0
+        assert "forecast shape: (12, 7)" in capsys.readouterr().out
+        assert np.load(preds).shape == (12, 7)
+
+        code = main(["predict", "--artifact", out, "--dataset", "ETTm1",
+                     "--length", "500", "--serve"])
+        assert code == 0
+        assert "forecast shape: (12, 7)" in capsys.readouterr().out
+
+        code = main(["serve", "--artifacts", os.path.dirname(out),
+                     "--dataset", "ETTm1", "--length", "500",
+                     "--requests", "8"])
+        assert code == 0
+        served = capsys.readouterr().out
+        assert "8 requests" in served and "req/s" in served
 
     def test_compare(self, capsys):
         code = main(["compare", "--dataset", "Exchange", "--horizon", "12",

@@ -175,6 +175,29 @@ class TestWindows:
         assert len(tiny.train) < len(full.train)
         assert len(tiny.test) == len(full.test)
 
+    def test_train_fraction_is_linear_in_windows(self):
+        # The fraction applies to *windows*, not raw rows: for a short
+        # series the H+M overhead must not skew the kept fraction
+        # (paper Table V / Figure 7 few-shot fractions).
+        series = load_dataset("ETTm1", length=700)
+        full = make_forecasting_data(series, 96, 24)
+        for fraction in (0.05, 0.1, 0.2, 0.5, 0.75):
+            part = make_forecasting_data(series, 96, 24,
+                                         train_fraction=fraction)
+            expected = max(1, round(len(full.train) * fraction))
+            assert len(part.train) == expected, (
+                f"fraction {fraction}: {len(part.train)} windows, "
+                f"expected {expected} of {len(full.train)}")
+
+    def test_train_fraction_keeps_earliest_windows(self):
+        series = load_dataset("ETTm1", length=900)
+        full = make_forecasting_data(series, 96, 24)
+        part = make_forecasting_data(series, 96, 24, train_fraction=0.3)
+        history_full, future_full = full.train[0]
+        history_part, future_part = part.train[0]
+        np.testing.assert_array_equal(history_part, history_full)
+        np.testing.assert_array_equal(future_part, future_full)
+
     def test_bad_splits_raise(self):
         series = load_dataset("ETTm1", length=400)
         with pytest.raises(ValueError):

@@ -90,6 +90,25 @@ class TestEfficiency:
             "b", 0, lambda: np.zeros((2048, 2048)).sum(), lambda: None)
         assert big.peak_memory_mib > small.peak_memory_mib
 
+    def test_preserves_outer_tracemalloc_trace(self):
+        import tracemalloc
+
+        assert not tracemalloc.is_tracing()
+        tracemalloc.start()
+        try:
+            keep_alive = np.zeros((512, 512))
+            before = tracemalloc.get_traced_memory()[0]
+            measure_efficiency(
+                "nested", 0, lambda: np.zeros((256, 256)).sum(),
+                lambda: None, inference_repeats=1)
+            # the outer trace must survive and still track allocations
+            assert tracemalloc.is_tracing()
+            after = tracemalloc.get_traced_memory()[0]
+            assert after >= before - 1024  # keep_alive still accounted
+            assert keep_alive is not None
+        finally:
+            tracemalloc.stop()
+
 
 class TestResults:
     ROWS = [

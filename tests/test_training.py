@@ -125,10 +125,36 @@ class TestForecaster:
         history, _ = small_data.test[0]
         expected = model.predict(history)
 
-        restored = TimeKDForecaster(model.config, clm=tiny_clm)
-        restored.load(path, small_data)
-        np.testing.assert_allclose(restored.predict(history), expected,
-                                   atol=1e-5)
+        restored = TimeKDForecaster.from_artifact(path)
+        np.testing.assert_array_equal(restored.predict(history), expected)
+
+    def test_run_both_is_deterministic_with_dropout(self, small_data,
+                                                    tiny_clm):
+        # train() mode left over from fit must not leak dropout noise
+        # into the Figure 8/9 analysis forwards
+        cfg = fast_config(dropout=0.25)
+        model = TimeKDForecaster(cfg, clm=tiny_clm).fit(small_data)
+        model.trainer.teacher.train()
+        model.trainer.student.train()
+        history, future = small_data.test[0]
+        first = model.attention_maps(history, future)
+        second = model.attention_maps(history, future)
+        np.testing.assert_array_equal(first["privileged"],
+                                      second["privileged"])
+        np.testing.assert_array_equal(first["student"], second["student"])
+        # the prior mode is restored, not clobbered
+        assert model.trainer.teacher.training
+        assert model.trainer.student.training
+
+    def test_save_embeddings_before_prepare_raises_clearly(
+            self, small_data, tiny_clm, tmp_path):
+        cfg = fast_config(embedding_cache_dir=str(tmp_path))
+        trainer = TimeKDTrainer(cfg, small_data, clm=tiny_clm)
+        with pytest.raises(RuntimeError, match="prepare_embeddings"):
+            trainer.save_embeddings()
+        trainer.prepare_embeddings()
+        trainer.fit()
+        assert trainer.save_embeddings() is None  # already saved by fit()
 
     def test_compact_drops_teacher(self, small_data, tiny_clm):
         model = TimeKDForecaster(fast_config(), clm=tiny_clm).fit(small_data)
