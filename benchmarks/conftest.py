@@ -10,6 +10,8 @@ Set ``REPRO_FULL=1`` to run the paper-size grids instead (hours).
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.experiments.common import ExperimentScale
@@ -30,3 +32,12 @@ def bench_scale() -> ExperimentScale:
 def run_once(benchmark, fn):
     """Run ``fn`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def bench_dir() -> str:
+    """Shared output directory for benchmark JSON (CI uploads it)."""
+    root = os.environ.get("REPRO_CACHE",
+                          os.path.join(os.getcwd(), "artifacts"))
+    path = os.path.join(root, "bench")
+    os.makedirs(path, exist_ok=True)
+    return path

@@ -13,7 +13,7 @@ import json
 import os
 import time
 
-from conftest import run_once
+from conftest import bench_dir, run_once
 
 from repro.core.trainer import TimeKDTrainer
 from repro.experiments.common import (
@@ -22,14 +22,6 @@ from repro.experiments.common import (
     timekd_config,
 )
 from repro.llm import CalibratedLanguageModel
-
-
-def _bench_dir() -> str:
-    root = os.environ.get("REPRO_CACHE",
-                          os.path.join(os.getcwd(), "artifacts"))
-    path = os.path.join(root, "bench")
-    os.makedirs(path, exist_ok=True)
-    return path
 
 
 def test_embedding_pipeline_speedup(benchmark, bench_scale):
@@ -90,5 +82,5 @@ def test_embedding_pipeline_speedup(benchmark, bench_scale):
         }
 
     result = run_once(benchmark, run)
-    with open(os.path.join(_bench_dir(), "perf_pipeline.json"), "w") as fh:
+    with open(os.path.join(bench_dir(), "perf_pipeline.json"), "w") as fh:
         json.dump(result, fh, indent=2)

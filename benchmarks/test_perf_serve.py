@@ -16,7 +16,7 @@ import time
 
 import numpy as np
 
-from conftest import run_once
+from conftest import bench_dir, run_once
 
 from repro.core import TimeKDConfig
 from repro.core.student import StudentModel
@@ -24,14 +24,6 @@ from repro.data import StandardScaler
 from repro.serve import ForecastService, save_student_artifact
 
 NUM_REQUESTS = 256
-
-
-def _bench_dir() -> str:
-    root = os.environ.get("REPRO_CACHE",
-                          os.path.join(os.getcwd(), "artifacts"))
-    path = os.path.join(root, "bench")
-    os.makedirs(path, exist_ok=True)
-    return path
 
 
 def test_serve_coalescing_throughput(benchmark, tmp_path_factory):
@@ -95,5 +87,5 @@ def test_serve_coalescing_throughput(benchmark, tmp_path_factory):
         }
 
     result = run_once(benchmark, run)
-    with open(os.path.join(_bench_dir(), "perf_serve.json"), "w") as fh:
+    with open(os.path.join(bench_dir(), "perf_serve.json"), "w") as fh:
         json.dump(result, fh, indent=2)

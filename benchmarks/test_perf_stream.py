@@ -1,0 +1,107 @@
+"""BENCH: streaming throughput — 1k+ live series through one service.
+
+The streaming claim behind ``repro.stream``: per-series state is cheap
+enough to hold thousands of concurrent series, and because every
+re-forecast routes through the ``ForecastService`` micro-batching
+queue, a burst tick across the fleet coalesces into large shared
+student forwards instead of thousands of batch-1 calls.  This benchmark
+warm-starts ``NUM_SERIES`` independent random-walk series, replays
+burst ticks across all of them, and records ingestion ticks/sec,
+end-to-end forecast ticks/sec, and the mean coalesced batch size
+(asserted > 1 — micro-batching must engage under streaming load).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from conftest import bench_dir, run_once
+
+from repro.core import TimeKDConfig
+from repro.core.student import StudentModel
+from repro.data import StandardScaler
+from repro.serve import ForecastService, save_student_artifact
+from repro.stream import StreamingForecaster
+
+NUM_SERIES = 1024
+FORECAST_ROUNDS = 2
+
+
+def test_stream_throughput(benchmark, tmp_path_factory):
+    artifact_dir = str(tmp_path_factory.mktemp("stream-bench"))
+    config = TimeKDConfig(history_length=32, horizon=8, num_variables=3,
+                          d_model=32, num_heads=2, num_layers=1, ffn_dim=64)
+    student = StudentModel(config)
+    student.eval()
+    rng = np.random.default_rng(0)
+    scaler = StandardScaler().fit(rng.normal(1.0, 2.0, size=(500, 3)))
+    save_student_artifact(
+        os.path.join(artifact_dir, "stream-h8.npz"), student, config,
+        scaler=scaler, metadata={"dataset": "ETTm1"})
+
+    history = config.history_length
+    ticks = history + FORECAST_ROUNDS
+    streams = rng.normal(
+        size=(NUM_SERIES, ticks, config.num_variables)).cumsum(axis=1)
+
+    def run() -> dict:
+        with ForecastService(artifact_dir, max_batch=64) as service:
+            forecaster = StreamingForecaster(service, cadence=1)
+
+            # Warm start: bulk-ingest each series' trailing history
+            # (one row short of a full window, so no forecasts fire).
+            start = time.perf_counter()
+            for index in range(NUM_SERIES):
+                forecaster.append(("tenant", index), 0.0,
+                                  streams[index, : history - 1])
+            ingest_s = time.perf_counter() - start
+            ingest_ticks = NUM_SERIES * (history - 1)
+
+            # Burst rounds: one tick lands on every series; the paused
+            # queue emulates the fleet ticking faster than one forward.
+            start = time.perf_counter()
+            forecasts = 0
+            for round_index in range(FORECAST_ROUNDS):
+                tick = history - 1 + round_index
+                service.pause()
+                futures = [
+                    forecaster.append(("tenant", index), float(tick),
+                                      streams[index, tick])
+                    for index in range(NUM_SERIES)
+                ]
+                service.resume()
+                for future in futures:
+                    assert future is not None
+                    assert future.result().shape == (
+                        config.horizon, config.num_variables)
+                forecasts += len(futures)
+            forecast_s = time.perf_counter() - start
+            snapshot = forecaster.snapshot()
+
+        stream_stats, service_stats = snapshot["stream"], snapshot["service"]
+        assert stream_stats["series"] == NUM_SERIES
+        assert service_stats["served"] == forecasts
+        mean_batch = service_stats["mean_batch"]
+        assert mean_batch > 1.0, (
+            f"micro-batching must engage under streaming load, got mean "
+            f"coalesced batch size {mean_batch:.2f}")
+        return {
+            "series": NUM_SERIES,
+            "ingest_ticks": ingest_ticks,
+            "ingest_s": ingest_s,
+            "ingest_ticks_per_s": ingest_ticks / max(ingest_s, 1e-9),
+            "forecast_ticks": forecasts,
+            "forecast_s": forecast_s,
+            "forecast_ticks_per_s": forecasts / max(forecast_s, 1e-9),
+            "mean_batch": mean_batch,
+            "max_coalesced": service_stats["max_coalesced"],
+            "batches": service_stats["batches"],
+        }
+
+    result = run_once(benchmark, run)
+    with open(os.path.join(bench_dir(), "perf_stream.json"), "w") as fh:
+        json.dump(result, fh, indent=2)

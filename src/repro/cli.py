@@ -10,18 +10,23 @@ Usage::
         --dataset ETTm1 --raw
     python -m repro.cli serve --artifacts artifacts/models \
         --dataset ETTm1 --horizon 24 --requests 64
+    python -m repro.cli stream --artifacts artifacts/models \
+        --dataset ETTm1 --horizon 24 --ticks 200 --verify
     python -m repro.cli compare --dataset Exchange --horizon 24 \
         --models TimeKD iTransformer
 
 ``train --out`` writes a self-contained student artifact bundle
 (weights + config + scaler + provenance); ``evaluate``/``predict``/
-``serve`` restore students from bundles without ever constructing a
-trainer or pretraining a CLM.
+``serve``/``stream`` restore students from bundles without ever
+constructing a trainer or pretraining a CLM.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import json
+import signal
 import sys
 import time
 
@@ -167,11 +172,45 @@ def _cmd_predict(args) -> int:
     return 0
 
 
+@contextlib.contextmanager
+def _graceful_shutdown(service):
+    """Drain the micro-batch queue on SIGINT/SIGTERM before exiting.
+
+    The signal handler only raises: the interrupted frame may be inside
+    the service holding its (non-reentrant) lock, so touching the
+    service from signal context could self-deadlock.  The exception
+    unwinds the main thread (releasing any held locks), then the drain
+    runs below, outside signal context: the worker is resumed so queued
+    requests flush, and ``close()`` completes every in-flight future
+    before the worker exits — no client is ever left holding a
+    forever-pending future.
+    """
+    def handler(signum, frame):
+        raise SystemExit(128 + signum)
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, handler)
+        except (ValueError, OSError):  # non-main thread / unsupported
+            pass
+    try:
+        yield
+    except BaseException:
+        service.resume()
+        service.close()
+        raise
+    finally:
+        for signum, old in previous.items():
+            signal.signal(signum, old)
+
+
 def _cmd_serve(args) -> int:
     from .serve import ForecastService, read_artifact_info
 
     with ForecastService(args.artifacts, max_models=args.max_models,
-                         max_batch=args.max_batch) as service:
+                         max_batch=args.max_batch) as service, \
+            _graceful_shutdown(service):
         keys = service.keys()
         print(f"serving {len(keys)} artifact(s) from {args.artifacts}: "
               f"{sorted(keys)}")
@@ -205,6 +244,69 @@ def _cmd_serve(args) -> int:
     if args.out:
         np.save(args.out, forecasts)
         print(f"forecasts saved to {args.out}")
+    return 0
+
+
+def _cmd_stream(args) -> int:
+    from .serve import ForecastService
+    from .stream import StreamingForecaster, replay, verify_parity
+
+    with ForecastService(args.artifacts, max_models=args.max_models,
+                         max_batch=args.max_batch) as service, \
+            _graceful_shutdown(service):
+        key = service.resolve_key(args.dataset, args.horizon)
+        config = service.config_for(key)
+        series = load_dataset(key[0], length=args.length)
+        data = make_forecasting_data(
+            series, history_length=config.history_length,
+            horizon=config.horizon)
+        segment = data.test.values
+        if args.raw:
+            segment = data.scaler.inverse_transform(segment)
+
+        forecaster = StreamingForecaster(
+            service, dataset=key[0], horizon=key[1],
+            cadence=args.cadence, policy=args.policy,
+            interval=float(data.frequency_minutes), raw_values=args.raw)
+        reports = []
+        for index in range(args.series):
+            reports.append(replay(
+                forecaster, segment, key=("replay", f"{key[0]}#{index}"),
+                max_ticks=args.ticks))
+        report = reports[-1]
+        # Snapshot before --verify: parity re-predicts each window
+        # sequentially and would contaminate the coalescing counters.
+        snapshot = forecaster.snapshot()
+        stream, serve = snapshot["stream"], snapshot["service"]
+
+        compared = None
+        if args.verify:
+            compared = sum(verify_parity(r, forecaster, segment)
+                           for r in reports)
+        total_ticks = sum(r.ticks for r in reports)
+        total_s = sum(r.duration_s for r in reports)
+        print(f"replayed {total_ticks} ticks across {args.series} "
+              f"series in {total_s:.3f}s "
+              f"({total_ticks / max(total_s, 1e-9):.1f} ticks/s), "
+              f"{stream['forecasts']} forecasts, "
+              f"{stream['gaps']} gaps ({stream['filled']} rows filled), "
+              f"{stream['alarmed']} drift alarm(s)")
+        print(f"service: {serve['batches']} batches, "
+              f"mean batch {serve['mean_batch']:.2f}, "
+              f"max coalesced {serve['max_coalesced']}")
+        if compared is not None:
+            print(f"parity: {compared} streamed forecast(s) bitwise "
+                  f"identical to offline predict")
+        if args.stats_out:
+            payload = report.as_dict()
+            payload["stream"], payload["service"] = stream, serve
+            payload["total_ticks"] = total_ticks
+            payload["ticks_per_second"] = total_ticks / max(total_s, 1e-9)
+            if compared is not None:
+                payload["parity_checked"] = compared
+            with open(args.stats_out, "w") as fh:
+                json.dump(payload, fh, indent=2)
+            print(f"stats written to {args.stats_out}")
     return 0
 
 
@@ -284,6 +386,41 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument("--max-batch", type=int, default=64)
     serve.add_argument("--out", default=None, help="save forecasts (.npy)")
     serve.set_defaults(func=_cmd_serve)
+
+    stream = commands.add_parser(
+        "stream", help="replay a dataset through the streaming "
+                       "forecaster (online ingestion + micro-batched "
+                       "re-forecasting)")
+    stream.add_argument("--artifacts", required=True,
+                        help="directory of student artifact bundles")
+    stream.add_argument("--dataset", default=None, choices=dataset_names(),
+                        help="registry key of the model to stream against")
+    stream.add_argument("--horizon", type=int, default=None)
+    stream.add_argument("--length", type=int, default=None,
+                        help="series length override (default per dataset)")
+    stream.add_argument("--ticks", type=int, default=None,
+                        help="replay at most this many ticks of the test "
+                             "segment (default: all)")
+    stream.add_argument("--series", type=int, default=1,
+                        help="replay the stream as this many parallel "
+                             "series keys (exercises coalescing)")
+    stream.add_argument("--cadence", type=int, default=1,
+                        help="re-forecast every K ingested ticks (0 = "
+                             "on-demand only)")
+    stream.add_argument("--policy", default="error",
+                        choices=["error", "ffill", "interpolate"],
+                        help="missing-tick policy")
+    stream.add_argument("--raw", action="store_true",
+                        help="stream raw data units through the bundled "
+                             "scaler")
+    stream.add_argument("--verify", action="store_true",
+                        help="assert streamed forecasts are bitwise "
+                             "identical to offline predict")
+    stream.add_argument("--max-models", type=int, default=4)
+    stream.add_argument("--max-batch", type=int, default=64)
+    stream.add_argument("--stats-out", default=None, metavar="JSON",
+                        help="dump replay + service stats as JSON")
+    stream.set_defaults(func=_cmd_stream)
 
     compare = commands.add_parser("compare",
                                   help="compare models on one dataset")

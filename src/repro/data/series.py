@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
 __all__ = ["MultivariateTimeSeries"]
+
+_FINITE_MODES = ("warn", "strict", "ignore")
 
 
 @dataclass
@@ -23,12 +26,18 @@ class MultivariateTimeSeries:
         Sampling interval, used when rendering prompts.
     name:
         Dataset identifier.
+    validate_finite:
+        What to do about NaN/inf observations: ``"warn"`` (default)
+        emits a :class:`UserWarning` at construction so ingestion
+        errors surface at the boundary instead of as NaN forecasts,
+        ``"strict"`` raises, ``"ignore"`` skips the check.
     """
 
     values: np.ndarray
     columns: list[str] = field(default_factory=list)
     frequency_minutes: int = 60
     name: str = ""
+    validate_finite: str = "warn"
 
     def __post_init__(self):
         self.values = np.asarray(self.values, dtype=np.float64)
@@ -38,6 +47,20 @@ class MultivariateTimeSeries:
             self.columns = [f"var{i}" for i in range(self.values.shape[1])]
         if len(self.columns) != self.values.shape[1]:
             raise ValueError("columns length must match the variable axis")
+        if self.validate_finite not in _FINITE_MODES:
+            raise ValueError(
+                f"validate_finite must be one of {_FINITE_MODES}, "
+                f"got {self.validate_finite!r}")
+        if self.validate_finite != "ignore":
+            finite = np.isfinite(self.values)
+            if not finite.all():
+                bad = int((~finite).sum())
+                message = (
+                    f"series {self.name!r} contains {bad} non-finite "
+                    f"value(s) out of {self.values.size}")
+                if self.validate_finite == "strict":
+                    raise ValueError(message)
+                warnings.warn(message, stacklevel=2)
 
     @property
     def length(self) -> int:
@@ -57,6 +80,7 @@ class MultivariateTimeSeries:
             columns=list(self.columns),
             frequency_minutes=self.frequency_minutes,
             name=self.name,
+            validate_finite=self.validate_finite,
         )
 
     def head_fraction(self, fraction: float) -> "MultivariateTimeSeries":

@@ -16,7 +16,7 @@ import os
 import threading
 from collections import OrderedDict
 from concurrent.futures import Future
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -46,6 +46,7 @@ class ServiceStats:
         return {
             "requests": self.requests,
             "batches": self.batches,
+            "served": self.served,
             "max_coalesced": self.max_coalesced,
             "loads": self.loads,
             "evictions": self.evictions,
@@ -170,6 +171,26 @@ class ForecastService:
         raise KeyError(
             f"ambiguous request dataset={dataset!r} horizon={horizon!r}; "
             f"matches {sorted(matches)} — pass both dataset and horizon")
+
+    def config_for(self, key: tuple[str, int]):
+        """Resolved :class:`TimeKDConfig` of the bundle behind ``key``.
+
+        Loads the model lazily (it is about to be used anyway), so the
+        config and the served weights always come from the same bundle.
+        """
+        return self._get_model(key).artifact.config
+
+    def snapshot(self) -> ServiceStats:
+        """Consistent copy of the counters.
+
+        The worker thread mutates :attr:`stats` under the service lock;
+        reading the live dataclass field-by-field can interleave with a
+        batch completing.  ``snapshot()`` copies everything under the
+        same lock, so derived values (like ``mean_batch``) are computed
+        from one coherent state.
+        """
+        with self._lock:
+            return replace(self.stats)
 
     def _get_model(self, key: tuple[str, int]) -> _LoadedModel:
         """Fetch (loading lazily, LRU-evicting) the model for ``key``."""

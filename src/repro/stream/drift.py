@@ -1,0 +1,140 @@
+"""Forecast-quality drift detection for streamed series.
+
+:class:`DriftMonitor` watches the errors between realized ticks and the
+forecasts previously issued for them.  It keeps rolling MAE/MSE over a
+fixed window, calibrates a reference error level from the first
+``calibration`` observations, and runs a one-sided CUSUM on the excess
+error above that reference: small persistent degradation accumulates
+until the alarm fires, while isolated spikes decay away.  An alarmed
+series should be re-scaled (see
+:meth:`~repro.stream.state.SeriesState.running_scaler`) or served by a
+naive fallback until an operator resets it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+__all__ = ["DriftMonitor"]
+
+
+class DriftMonitor:
+    """Rolling-error tracker with a CUSUM drift alarm.
+
+    Parameters
+    ----------
+    window:
+        Rolling window length for MAE/MSE.
+    calibration:
+        Number of initial errors used to fix the reference error level.
+        No alarm can fire during calibration.
+    threshold:
+        Alarm fires when the CUSUM statistic exceeds
+        ``threshold * reference`` (dimensionless multiple of the
+        calibrated error level).
+    slack:
+        Per-observation allowance, as a fraction of the reference,
+        subtracted before accumulating — errors below
+        ``(1 + slack) * reference`` drain the statistic.
+    """
+
+    __slots__ = ("window", "calibration", "threshold", "slack",
+                 "_abs_errors", "_sq_errors", "_count", "_reference",
+                 "_cusum", "_alarmed")
+
+    def __init__(self, window: int = 64, calibration: int = 16,
+                 threshold: float = 8.0, slack: float = 0.5):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if calibration < 1:
+            raise ValueError("calibration must be >= 1")
+        if threshold <= 0 or slack < 0:
+            raise ValueError("threshold must be > 0 and slack >= 0")
+        self.window = int(window)
+        self.calibration = int(calibration)
+        self.threshold = float(threshold)
+        self.slack = float(slack)
+        self._abs_errors: deque = deque(maxlen=self.window)
+        self._sq_errors: deque = deque(maxlen=self.window)
+        self._count = 0
+        self._reference: float | None = None
+        self._cusum = 0.0
+        self._alarmed = False
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def update(self, error: float | np.ndarray) -> bool:
+        """Record one realized-vs-forecast error; returns alarm state.
+
+        ``error`` may be a scalar or a per-variable vector (averaged
+        across variables).  The alarm latches: once drift fires it
+        stays set until :meth:`reset`.
+        """
+        vector = np.asarray(error, dtype=np.float64)
+        error = float(np.mean(np.abs(vector)))
+        if not np.isfinite(error):
+            raise ValueError("drift errors must be finite")
+        self._abs_errors.append(error)
+        # True per-tick MSE (mean of squared per-variable errors), not
+        # the square of the MAE — they differ for vector errors.
+        self._sq_errors.append(float(np.mean(vector * vector)))
+        self._count += 1
+        if self._reference is None:
+            if self._count >= self.calibration:
+                # Floor avoids a zero reference (perfect calibration
+                # errors) turning any later error into an instant alarm.
+                self._reference = max(
+                    float(np.mean(self._abs_errors)), 1e-12)
+            return self._alarmed
+        excess = error - (1.0 + self.slack) * self._reference
+        self._cusum = max(0.0, self._cusum + excess)
+        if self._cusum > self.threshold * self._reference:
+            self._alarmed = True
+        return self._alarmed
+
+    def reset(self) -> None:
+        """Clear the alarm and re-calibrate from scratch."""
+        self._abs_errors.clear()
+        self._sq_errors.clear()
+        self._count = 0
+        self._reference = None
+        self._cusum = 0.0
+        self._alarmed = False
+
+    # ------------------------------------------------------------------
+    # readouts
+    # ------------------------------------------------------------------
+    @property
+    def alarmed(self) -> bool:
+        return self._alarmed
+
+    @property
+    def count(self) -> int:
+        """Total errors observed since the last reset."""
+        return self._count
+
+    @property
+    def reference(self) -> float | None:
+        """Calibrated reference MAE (``None`` while calibrating)."""
+        return self._reference
+
+    @property
+    def rolling_mae(self) -> float:
+        return float(np.mean(self._abs_errors)) if self._abs_errors else 0.0
+
+    @property
+    def rolling_mse(self) -> float:
+        return float(np.mean(self._sq_errors)) if self._sq_errors else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self._count,
+            "rolling_mae": self.rolling_mae,
+            "rolling_mse": self.rolling_mse,
+            "reference": self._reference,
+            "cusum": self._cusum,
+            "alarmed": self._alarmed,
+        }

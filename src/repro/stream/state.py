@@ -1,0 +1,172 @@
+"""Per-series rolling state: fixed-capacity ring buffer + running stats.
+
+:class:`SeriesState` holds the trailing observations of one streamed
+series in a *doubled* ring buffer: every row is written at physical
+index ``i`` and ``i + capacity``, so any trailing window of up to
+``capacity`` rows is one contiguous slice — :meth:`window` returns a
+zero-copy view regardless of where the write head sits.  Appends are
+O(1) (two row writes), and Welford-style running mean/std track every
+value ever ingested so raw-value streams can be re-scaled consistently
+with the bundled :class:`~repro.data.scaler.StandardScaler`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.scaler import StandardScaler
+
+__all__ = ["SeriesState"]
+
+
+class SeriesState:
+    """Trailing-window buffer for one ``(tenant, series)`` stream.
+
+    Parameters
+    ----------
+    input_len:
+        Window length :meth:`window` serves (the model's ``H``).
+    num_variables:
+        Variable count ``N`` of each observation row.
+    capacity:
+        Ring capacity (``>= input_len``); defaults to ``2 * input_len``
+        so a window view survives ``capacity - input_len`` further
+        appends before its rows are overwritten.
+    """
+
+    __slots__ = ("input_len", "num_variables", "capacity", "count",
+                 "_buffer", "_mean", "_m2")
+
+    def __init__(self, input_len: int, num_variables: int,
+                 capacity: int | None = None):
+        if input_len < 1:
+            raise ValueError("input_len must be >= 1")
+        if num_variables < 1:
+            raise ValueError("num_variables must be >= 1")
+        if capacity is None:
+            capacity = 2 * input_len
+        if capacity < input_len:
+            raise ValueError(
+                f"capacity {capacity} must be >= input_len {input_len}")
+        self.input_len = int(input_len)
+        self.num_variables = int(num_variables)
+        self.capacity = int(capacity)
+        #: Total rows ever appended (not capped by capacity).
+        self.count = 0
+        # Doubled buffer: row t lives at t % capacity AND t % capacity
+        # + capacity, making every trailing window contiguous.
+        self._buffer = np.empty((2 * self.capacity, self.num_variables),
+                                dtype=np.float64)
+        self._mean = np.zeros(self.num_variables, dtype=np.float64)
+        self._m2 = np.zeros(self.num_variables, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def append(self, row: np.ndarray) -> None:
+        """O(1) append of one ``(N,)`` observation."""
+        row = np.asarray(row, dtype=np.float64)
+        if row.shape != (self.num_variables,):
+            raise ValueError(
+                f"row must have shape ({self.num_variables},), "
+                f"got {row.shape}")
+        slot = self.count % self.capacity
+        self._buffer[slot] = row
+        self._buffer[slot + self.capacity] = row
+        self.count += 1
+        # Welford update, vectorized across variables.
+        delta = row - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (row - self._mean)
+
+    def extend(self, rows: np.ndarray) -> None:
+        """Append ``(T, N)`` rows in one vectorized pass."""
+        rows = np.asarray(rows, dtype=np.float64)
+        if rows.ndim != 2 or rows.shape[1] != self.num_variables:
+            raise ValueError(
+                f"rows must have shape (T, {self.num_variables}), "
+                f"got {rows.shape}")
+        if len(rows) == 0:
+            return
+        # Only the trailing `capacity` rows can survive this call;
+        # earlier ones would be overwritten within it.
+        tail = rows[-self.capacity:]
+        base = self.count + len(rows) - len(tail)
+        slots = (base + np.arange(len(tail))) % self.capacity
+        self._buffer[slots] = tail
+        self._buffer[slots + self.capacity] = tail
+        # Chan et al. parallel-Welford merge of the chunk statistics.
+        n_b = len(rows)
+        mean_b = rows.mean(axis=0)
+        m2_b = ((rows - mean_b) ** 2).sum(axis=0)
+        n_a = self.count
+        total = n_a + n_b
+        delta = mean_b - self._mean
+        self._mean += delta * (n_b / total)
+        self._m2 += m2_b + delta ** 2 * (n_a * n_b / total)
+        self.count = total
+
+    # ------------------------------------------------------------------
+    # views and stats
+    # ------------------------------------------------------------------
+    @property
+    def ready(self) -> bool:
+        """Whether a full ``input_len`` window is available."""
+        return self.count >= self.input_len
+
+    def window(self, copy: bool = False) -> np.ndarray:
+        """Trailing ``(input_len, N)`` window.
+
+        Zero-copy by default: the returned view stays valid for
+        ``capacity - input_len`` further appends, after which its
+        oldest rows are overwritten — pass ``copy=True`` (or copy at
+        the call site) before handing the window to asynchronous
+        consumers.
+        """
+        return self.tail(self.input_len, copy=copy)
+
+    def tail(self, length: int, copy: bool = False) -> np.ndarray:
+        """Trailing ``(length, N)`` rows as a contiguous view."""
+        if not 1 <= length <= self.capacity:
+            raise ValueError(
+                f"length must be in [1, {self.capacity}], got {length}")
+        if self.count < length:
+            raise ValueError(
+                f"series has {self.count} rows, needs {length}")
+        start = (self.count - length) % self.capacity
+        view = self._buffer[start: start + length]
+        return view.copy() if copy else view
+
+    def last(self) -> np.ndarray:
+        """Most recent observation row (copy)."""
+        return self.tail(1, copy=True)[0]
+
+    @property
+    def mean(self) -> np.ndarray:
+        """Running per-variable mean over every ingested row."""
+        return self._mean.copy()
+
+    @property
+    def std(self) -> np.ndarray:
+        """Running per-variable population std (``ddof=0``), matching
+        :meth:`StandardScaler.fit` semantics."""
+        if self.count == 0:
+            return np.zeros(self.num_variables, dtype=np.float64)
+        return np.sqrt(np.maximum(self._m2 / self.count, 0.0))
+
+    def running_scaler(self, eps: float = 1e-8) -> StandardScaler:
+        """A fitted :class:`StandardScaler` from the running statistics.
+
+        The drift path uses this when a series' live distribution walks
+        away from the artifact's train-time scaler: re-scaling with the
+        stream's own statistics restores z-scored inputs without
+        refitting offline.
+        """
+        if self.count == 0:
+            raise RuntimeError("no rows ingested yet")
+        std = self.std
+        return StandardScaler.from_state({
+            "mean": self._mean,
+            "std": np.where(std < eps, 1.0, std),
+            "eps": np.float64(eps),
+        })

@@ -13,6 +13,36 @@ from repro.data import load_dataset, make_forecasting_data
 from repro.llm import CalibratedLanguageModel, Vocabulary, build_backbone, pretrain_backbone
 
 
+def _configure_hypothesis() -> None:
+    """Register hypothesis profiles and pick one from the environment.
+
+    ``default`` keeps local runs fast on the 1-CPU substrate; ``ci``
+    buys more coverage.  Select with ``REPRO_HYPOTHESIS_PROFILE=ci``.
+    Guarded so the suite still collects when hypothesis is absent
+    (property tests skip themselves via ``importorskip``).
+    """
+    import os
+
+    try:
+        from hypothesis import HealthCheck, settings
+    except ImportError:  # pragma: no cover - optional dependency
+        return
+
+    base = dict(
+        # CPU available to test runs varies wildly; "too slow" data
+        # generation says nothing about the code under test.
+        suppress_health_check=[HealthCheck.too_slow],
+        deadline=None,
+    )
+    settings.register_profile("default", max_examples=25, **base)
+    settings.register_profile("ci", max_examples=100, **base)
+    settings.load_profile(
+        os.environ.get("REPRO_HYPOTHESIS_PROFILE", "default"))
+
+
+_configure_hypothesis()
+
+
 @pytest.fixture(scope="session")
 def vocab() -> Vocabulary:
     return Vocabulary()

@@ -46,6 +46,21 @@ class TestCLI:
         served = capsys.readouterr().out
         assert "8 requests" in served and "req/s" in served
 
+        stats_path = os.path.join(tmp_path, "stream.json")
+        code = main(["stream", "--artifacts", os.path.dirname(out),
+                     "--dataset", "ETTm1", "--length", "500",
+                     "--ticks", "120", "--verify",
+                     "--stats-out", stats_path])
+        assert code == 0
+        streamed = capsys.readouterr().out
+        assert "ticks/s" in streamed and "bitwise identical" in streamed
+        import json
+
+        with open(stats_path) as fh:
+            payload = json.load(fh)
+        assert payload["parity_checked"] == payload["stream"]["forecasts"]
+        assert payload["stream"]["forecasts"] > 0
+
     def test_compare(self, capsys):
         code = main(["compare", "--dataset", "Exchange", "--horizon", "12",
                      "--models", "iTransformer", "PatchTST"] + MICRO_ARGS)

@@ -40,6 +40,40 @@ class TestSeries:
         with pytest.raises(ValueError):
             s.head_fraction(0.0)
 
+    def test_non_finite_warns_by_default(self):
+        values = np.zeros((4, 2))
+        values[1, 0] = np.nan
+        values[2, 1] = np.inf
+        with pytest.warns(UserWarning, match="2 non-finite"):
+            MultivariateTimeSeries(values, name="bad")
+
+    def test_non_finite_strict_raises(self):
+        values = np.zeros((4, 2))
+        values[0, 0] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            MultivariateTimeSeries(values, validate_finite="strict")
+
+    def test_non_finite_ignore_and_mode_propagates_to_slice(self):
+        values = np.zeros((6, 2))
+        values[3, 1] = np.nan
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            s = MultivariateTimeSeries(values, validate_finite="ignore")
+            s.slice(0, 4)  # mode carried over: still silent
+
+    def test_finite_values_never_warn(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            MultivariateTimeSeries(np.zeros((4, 2)))
+
+    def test_unknown_validate_mode_rejected(self):
+        with pytest.raises(ValueError, match="validate_finite"):
+            MultivariateTimeSeries(np.zeros((4, 2)), validate_finite="nope")
+
 
 class TestGenerators:
     def test_registry_shapes(self):
