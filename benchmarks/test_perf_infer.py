@@ -1,0 +1,143 @@
+"""BENCH: compiled inference engine — tape-free forward vs module path.
+
+The claim behind ``repro.infer``: exporting the fitted student into a
+flat numpy tape (no Tensor wrapping, no graph bookkeeping, preallocated
+scratch, attention skipped) must return *bitwise identical* forecasts
+while cutting per-window cost — >= 3x at batch 1, where autograd
+overhead dominates, and measurably through the coalesced serve path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from conftest import bench_dir, run_once
+
+from repro.core import TimeKDConfig
+from repro.core.student import StudentModel
+from repro.data import StandardScaler
+from repro.infer import CompiledStudent
+from repro.serve import ForecastService, save_student_artifact
+
+#: Paper-shape student (Section V-A4 defaults: d_model 64, 2 layers).
+CONFIG = TimeKDConfig(history_length=96, horizon=24, num_variables=7)
+
+#: Batch sizes the micro-batching queue actually drains at.
+SERVE_BATCH_SIZES = (1, 16, 64)
+
+NUM_REQUESTS = 256
+
+
+def _best_seconds_per_call(fn, x, repeats: int = 15, inner: int = 30) -> float:
+    """Best-of-``repeats`` mean call time — robust to scheduler noise."""
+    fn(x)  # warm-up: builds plans / tensors outside the timed region
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(inner):
+            fn(x)
+        best = min(best, (time.perf_counter() - start) / inner)
+    return best
+
+
+def test_compiled_engine_speedup(benchmark, tmp_path_factory):
+    student = StudentModel(CONFIG)
+    student.eval()
+    rng = np.random.default_rng(0)
+    for p in student.parameters():
+        p.data[...] = rng.standard_normal(p.data.shape).astype(
+            np.float32) * 0.1
+    engine = CompiledStudent(student)
+
+    artifact_dir = str(tmp_path_factory.mktemp("infer-bench"))
+    scaler = StandardScaler().fit(rng.normal(1.0, 2.0, size=(500, 7)))
+    save_student_artifact(
+        os.path.join(artifact_dir, "ettm1-h24.npz"), student, CONFIG,
+        scaler=scaler, metadata={"dataset": "ETTm1"})
+    windows = rng.normal(
+        size=(NUM_REQUESTS, CONFIG.history_length,
+              CONFIG.num_variables)).astype(np.float32)
+
+    def run() -> dict:
+        result: dict = {"config": {
+            "history_length": CONFIG.history_length,
+            "horizon": CONFIG.horizon,
+            "num_variables": CONFIG.num_variables,
+            "d_model": CONFIG.d_model,
+            "num_layers": CONFIG.num_layers,
+        }, "batches": {}}
+
+        # Direct forward at every serve batch size, bitwise-checked.
+        for batch in SERVE_BATCH_SIZES:
+            x = windows[:batch]
+            np.testing.assert_array_equal(
+                engine.predict(x), student.predict(x),
+                err_msg="compiled engine must be bitwise identical "
+                "to the module forward")
+            module_s = _best_seconds_per_call(student.predict, x)
+            compiled_s = _best_seconds_per_call(engine.predict, x)
+            result["batches"][str(batch)] = {
+                "module_windows_per_s": batch / module_s,
+                "compiled_windows_per_s": batch / compiled_s,
+                "speedup": module_s / compiled_s,
+            }
+
+        single = result["batches"]["1"]["speedup"]
+        assert single >= 3.0, (
+            f"expected >= 3x single-window speedup from the compiled "
+            f"engine, got {single:.2f}x")
+        for batch in SERVE_BATCH_SIZES[1:]:
+            batched = result["batches"][str(batch)]["speedup"]
+            assert batched >= 1.15, (
+                f"expected measurable batched gains at B={batch}, got "
+                f"{batched:.2f}x")
+
+        # The coalesced serve path: same burst of requests drained by
+        # the micro-batch queue, module vs compiled engine per entry.
+        serve_rps = {}
+        for engine_name in ("module", "compiled"):
+            with ForecastService(artifact_dir, max_batch=64,
+                                 engine=engine_name) as service:
+                service.predict(windows[0])  # lazy-load + warm-up
+
+                def burst() -> tuple[list, float]:
+                    start = time.perf_counter()
+                    service.pause()  # a burst of concurrent clients
+                    futures = [service.submit(w) for w in windows]
+                    service.resume()
+                    forecasts = [f.result() for f in futures]
+                    return forecasts, time.perf_counter() - start
+
+                # First burst warms per-drain-size scratch plans (a
+                # steady-state serving loop pays that only once); then
+                # best-of-3 to shrug off scheduler noise.
+                burst()
+                forecasts, elapsed = min(
+                    (burst() for _ in range(3)), key=lambda r: r[1])
+                serve_rps[engine_name] = NUM_REQUESTS / max(elapsed, 1e-9)
+                assert service.stats.max_coalesced > 1
+            if engine_name == "module":
+                reference = forecasts
+            else:
+                for a, b in zip(reference, forecasts):
+                    np.testing.assert_array_equal(
+                        a, b, err_msg="served forecasts must not depend "
+                        "on the engine")
+        result["serve"] = {
+            "requests": NUM_REQUESTS,
+            "module_rps": serve_rps["module"],
+            "compiled_rps": serve_rps["compiled"],
+            "speedup": serve_rps["compiled"] / serve_rps["module"],
+        }
+        # Queue bookkeeping bounds the end-to-end serve gain; demand no
+        # regression (the forward-level gain is asserted above).
+        assert result["serve"]["speedup"] >= 0.9
+        return result
+
+    result = run_once(benchmark, run)
+    with open(os.path.join(bench_dir(), "perf_infer.json"), "w") as fh:
+        json.dump(result, fh, indent=2)

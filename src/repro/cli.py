@@ -18,7 +18,11 @@ Usage::
 ``train --out`` writes a self-contained student artifact bundle
 (weights + config + scaler + provenance); ``evaluate``/``predict``/
 ``serve``/``stream`` restore students from bundles without ever
-constructing a trainer or pretraining a CLM.
+constructing a trainer or pretraining a CLM.  Those four subcommands
+take ``--engine {module,compiled}`` selecting the inference engine:
+``compiled`` (the default) runs the tape-free :mod:`repro.infer`
+forward, bitwise identical to the autograd module path and several
+times faster per window.
 """
 
 from __future__ import annotations
@@ -63,6 +67,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-precompute", action="store_true",
                         help="keep the lazy per-batch embedding fill instead "
                              "of encoding the whole train split up front")
+
+
+def _add_engine(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--engine", default="compiled",
+                        choices=["module", "compiled"],
+                        help="inference engine: the tape-free compiled "
+                             "numpy forward (default) or the autograd "
+                             "module path; both are bitwise identical")
 
 
 def _scale(args) -> ExperimentScale:
@@ -124,7 +136,7 @@ def _cmd_evaluate(args) -> int:
     config = model.config
     data = _data(args, history_length=config.history_length,
                  horizon=config.horizon)
-    metrics = model.evaluate(data.test)
+    metrics = model.evaluate(data.test, engine=args.engine)
     print(f"test MSE={metrics['mse']:.4f} MAE={metrics['mae']:.4f}")
     return 0
 
@@ -150,7 +162,7 @@ def _cmd_predict(args) -> int:
         from .serve import ForecastService
 
         with ForecastService(os.path.dirname(os.path.abspath(
-                args.artifact))) as service:
+                args.artifact)), engine=args.engine) as service:
             batch = windows[None] if windows.ndim == 2 else windows
             dataset = metadata.get("dataset") or None
             futures = [service.submit(window, dataset=dataset,
@@ -162,7 +174,8 @@ def _cmd_predict(args) -> int:
                 forecast = forecast[0]
     else:
         model = TimeKDForecaster.from_artifact(args.artifact)
-        forecast = model.predict(windows, raw_values=args.raw)
+        forecast = model.predict(windows, raw_values=args.raw,
+                                 engine=args.engine)
     print(f"forecast shape: {np.asarray(forecast).shape} "
           f"(horizon {config.horizon}, "
           f"{config.num_variables} variables)")
@@ -209,11 +222,12 @@ def _cmd_serve(args) -> int:
     from .serve import ForecastService, read_artifact_info
 
     with ForecastService(args.artifacts, max_models=args.max_models,
-                         max_batch=args.max_batch) as service, \
+                         max_batch=args.max_batch,
+                         engine=args.engine) as service, \
             _graceful_shutdown(service):
         keys = service.keys()
-        print(f"serving {len(keys)} artifact(s) from {args.artifacts}: "
-              f"{sorted(keys)}")
+        print(f"serving {len(keys)} artifact(s) from {args.artifacts} "
+              f"[{service.engine} engine]: {sorted(keys)}")
         key = service.resolve_key(args.dataset, args.horizon)
         if args.input:
             windows = np.load(args.input)
@@ -252,7 +266,8 @@ def _cmd_stream(args) -> int:
     from .stream import StreamingForecaster, replay, verify_parity
 
     with ForecastService(args.artifacts, max_models=args.max_models,
-                         max_batch=args.max_batch) as service, \
+                         max_batch=args.max_batch,
+                         engine=args.engine) as service, \
             _graceful_shutdown(service):
         key = service.resolve_key(args.dataset, args.horizon)
         config = service.config_for(key)
@@ -344,6 +359,7 @@ def main(argv: list[str] | None = None) -> int:
     evaluate.add_argument("--artifact", required=True,
                           help="student artifact bundle from train --out; "
                                "window shapes come from the bundle's config")
+    _add_engine(evaluate)
     evaluate.set_defaults(func=_cmd_evaluate)
 
     predict = commands.add_parser(
@@ -365,6 +381,7 @@ def main(argv: list[str] | None = None) -> int:
                          help="route the prediction through a "
                               "ForecastService (coalescing serve path)")
     predict.add_argument("--out", default=None, help="save forecasts (.npy)")
+    _add_engine(predict)
     predict.set_defaults(func=_cmd_predict)
 
     serve = commands.add_parser(
@@ -385,6 +402,7 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument("--max-models", type=int, default=4)
     serve.add_argument("--max-batch", type=int, default=64)
     serve.add_argument("--out", default=None, help="save forecasts (.npy)")
+    _add_engine(serve)
     serve.set_defaults(func=_cmd_serve)
 
     stream = commands.add_parser(
@@ -420,6 +438,7 @@ def main(argv: list[str] | None = None) -> int:
     stream.add_argument("--max-batch", type=int, default=64)
     stream.add_argument("--stats-out", default=None, metavar="JSON",
                         help="dump replay + service stats as JSON")
+    _add_engine(stream)
     stream.set_defaults(func=_cmd_stream)
 
     compare = commands.add_parser("compare",

@@ -18,24 +18,36 @@ __all__ = ["StudentModel", "StudentOutput", "evaluate_student"]
 
 
 def evaluate_student(student: "StudentModel", dataset,
-                     batch_size: int = 32) -> dict:
+                     batch_size: int = 32, engine: str = "module") -> dict:
     """MSE/MAE of a student over every window of ``dataset``.
 
     The shared test protocol behind ``TimeKDTrainer.evaluate`` and
     ``TimeKDForecaster.evaluate``: the models are batch-independent
     (RevIN is per-instance), so batched evaluation matches the paper's
     batch-size-1 protocol numerically while staying CPU-feasible.
+
+    ``engine`` selects the forward implementation — ``"module"`` (the
+    autograd modules under ``no_grad``), ``"compiled"`` (a tape-free
+    :class:`repro.infer.CompiledStudent`, bitwise identical), or an
+    already-compiled engine instance to reuse across calls.
     """
     from ..data.loader import DataLoader
+    from ..infer import CompiledStudent, resolve_engine
     from ..nn import no_grad
 
     student.eval()
+    if isinstance(engine, CompiledStudent):
+        predict = engine.predict
+    elif resolve_engine(engine) == "compiled":
+        predict = CompiledStudent(student).predict
+    else:
+        predict = student.predict
     total_se, total_ae, count = 0.0, 0.0, 0
     loader = DataLoader(dataset, batch_size=batch_size, shuffle=False)
     with no_grad():
         for history, future in loader:
-            prediction = student(history.astype(np.float32)).prediction
-            diff = prediction.data - future
+            prediction = predict(history.astype(np.float32))
+            diff = prediction - future
             total_se += float((diff ** 2).sum())
             total_ae += float(np.abs(diff).sum())
             count += diff.size
@@ -54,7 +66,8 @@ class StudentOutput:
         ``T_H`` — encoder output tokens ``(B, N, D)`` (Eq. 25 target).
     attention:
         ``A_TSE`` — head-averaged last-layer attention ``(B, N, N)``
-        (Eq. 24 target).
+        (Eq. 24 target); ``None`` when the forward ran with
+        ``need_attention=False`` (inference hot path).
     """
 
     __slots__ = ("prediction", "features", "attention")
@@ -88,14 +101,26 @@ class StudentModel(Module):
         )
         self.head = Linear(config.d_model, config.horizon)
 
-    def forward(self, history: np.ndarray | Tensor) -> StudentOutput:
-        """Forecast ``(B, M, N)`` from a history window ``(B, H, N)``."""
+    def forward(self, history: np.ndarray | Tensor,
+                need_attention: bool = True) -> StudentOutput:
+        """Forecast ``(B, M, N)`` from a history window ``(B, H, N)``.
+
+        ``need_attention`` controls the last-layer attention head
+        average — a distillation-only output.  The trainer keeps the
+        default; ``predict``/serving pass ``False``, so the inference
+        hot path never pays for it (the forecast is unaffected either
+        way: the averaged map is a side output, not an input to the
+        prediction).
+        """
         x = history if isinstance(history, Tensor) else Tensor(history)
         if x.ndim == 2:
             x = x.reshape(1, *x.shape)
         normalized = self.revin.normalize(x)
         tokens = self.inverted_embedding(normalized.swapaxes(1, 2))  # (B, N, D)
-        encoded, attention = self.encoder(tokens, return_attention=True)
+        if need_attention:
+            encoded, attention = self.encoder(tokens, return_attention=True)
+        else:
+            encoded, attention = self.encoder(tokens), None
         projected = self.head(encoded)  # (B, N, M)
         prediction = self.revin.denormalize(projected.swapaxes(1, 2))
         return StudentOutput(prediction, encoded, attention)
@@ -105,5 +130,5 @@ class StudentModel(Module):
         from ..nn import no_grad
 
         with no_grad():
-            output = self.forward(history)
+            output = self.forward(history, need_attention=False)
         return output.prediction.data

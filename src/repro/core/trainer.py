@@ -249,7 +249,9 @@ class TimeKDTrainer:
                 loss = smooth_l1_loss(
                     output.reconstruction, Tensor(future.astype(np.float32)))
                 loss = loss * config.lambda_recon
-                self.teacher.zero_grad()
+                # Buffer-reusing zeroing: grads accumulate into the
+                # same allocations every step (optim.py's contract).
+                optimizer.zero_grad(set_to_none=False)
                 loss.backward()
                 clip_grad_norm(optimizer.parameters, config.grad_clip)
                 optimizer.step()
@@ -292,7 +294,7 @@ class TimeKDTrainer:
                     output.features,
                 )
                 loss = loss + distill * config.lambda_pkd
-                self.student.zero_grad()
+                optimizer.zero_grad(set_to_none=False)
                 loss.backward()
                 clip_grad_norm(optimizer.parameters, config.grad_clip)
                 optimizer.step()
@@ -356,8 +358,7 @@ class TimeKDTrainer:
                         detach_teacher=False,
                     ) * config.lambda_pkd
                 )
-                self.teacher.zero_grad()
-                self.student.zero_grad()
+                optimizer.zero_grad(set_to_none=False)
                 loss.backward()
                 clip_grad_norm(optimizer.parameters, config.grad_clip)
                 optimizer.step()

@@ -49,10 +49,16 @@ def smape(prediction, target, eps: float = 1e-8) -> float:
 
 
 def forecast_metrics(prediction, target) -> dict[str, float]:
-    """The paper's metric pair plus extras, as a dict."""
+    """The paper's metric pair plus the common extras, as a dict.
+
+    Covers everything in ``__all__``: mse/mae (Eq. 31-32), rmse, and
+    both percentage errors (``mape`` with its zero-target guard,
+    ``smape``).
+    """
     return {
         "mse": mse(prediction, target),
         "mae": mae(prediction, target),
         "rmse": rmse(prediction, target),
+        "mape": mape(prediction, target),
         "smape": smape(prediction, target),
     }

@@ -1,0 +1,506 @@
+"""Tape-free compiled forward for the student hot path.
+
+:class:`CompiledStudent` exports a fitted
+:class:`~repro.core.student.StudentModel` into a flat, pure-numpy
+forward: no :class:`~repro.nn.tensor.Tensor` objects, no graph
+bookkeeping (not even the ``no_grad`` variety), per-batch-shape scratch
+buffers reused across calls, and in-place ufuncs throughout.  The
+last-layer attention head-average — a distillation-only output — is
+skipped entirely unless requested.
+
+The engine's contract is **bitwise parity** with the module forward:
+every numpy operation below mirrors the exact op sequence, operand
+dtypes and memory layouts of the ``Module`` path (``RevIN`` →
+inverted embedding → Pre-LN encoder → head → de-normalization), so
+``CompiledStudent.predict`` and ``StudentModel.predict`` return
+identical bytes for identical inputs.  That is what lets the serve and
+stream layers swap engines freely: the replay/parity harnesses keep
+holding.
+
+Weights are *donated* (see :mod:`repro.nn.buffers`): the engine shares
+the module's backing arrays by default, so compiling is cheap.  Derived
+constants (the RevIN denominator, the probe-verified fused QKV
+projection) are snapshotted at compile time — rebuild the engine after
+mutating weights in place (``TimeKDForecaster.compile(force=True)``).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from functools import partial
+
+import numpy as np
+
+from ..nn.buffers import ScratchPool, donate
+
+__all__ = ["ENGINES", "CompiledStudent", "compile_student", "resolve_engine"]
+
+#: Inference engines understood by the serving stack and the CLI.
+ENGINES = ("module", "compiled")
+
+#: Float32 zero, pre-wrapped so the ReLU mask compare skips per-call
+#: scalar conversion (same compare as ``Tensor.relu``'s ``data > 0``).
+_ZERO = np.asarray(0.0, dtype=np.float32)
+
+
+def resolve_engine(engine: str) -> str:
+    """Validate an engine name; returns it unchanged."""
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown inference engine {engine!r}; choose from {ENGINES}")
+    return engine
+
+
+def compile_student(student, copy_weights: bool = False) -> "CompiledStudent":
+    """Convenience wrapper around :class:`CompiledStudent`."""
+    return CompiledStudent(student, copy_weights=copy_weights)
+
+
+def _const(value) -> np.ndarray:
+    """A float32 0-d array constant.
+
+    Ufunc dispatch converts python/numpy scalars on every call; a 0-d
+    array of the operand dtype passes straight through (~100ns saved per
+    op).  Same dtype, same kernel, same bits as the scalar it replaces.
+    """
+    return np.asarray(value, dtype=np.float32)
+
+
+class _LayerWeights:
+    """Donated weights of one Pre-LN encoder layer, flat and contiguous."""
+
+    __slots__ = ("ln1_g", "ln1_b", "ln1_eps", "wq", "bq", "wk", "bk",
+                 "wv", "bv", "wo", "bo", "wqkv", "bqkv", "scale",
+                 "ln2_g", "ln2_b", "ln2_eps", "w1", "b1", "w2", "b2",
+                 "activation")
+
+    def __init__(self, layer, copy: bool):
+        w = lambda p: donate(p.data, copy=copy)  # noqa: E731 — local alias
+        self.ln1_g, self.ln1_b = w(layer.norm1.gamma), w(layer.norm1.beta)
+        self.ln1_eps = _const(layer.norm1.eps)
+        attention = layer.attention
+        self.wq, self.bq = w(attention.q_proj.weight), w(attention.q_proj.bias)
+        self.wk, self.bk = w(attention.k_proj.weight), w(attention.k_proj.bias)
+        self.wv, self.bv = w(attention.v_proj.weight), w(attention.v_proj.bias)
+        self.wo, self.bo = w(attention.out_proj.weight), w(attention.out_proj.bias)
+        # Concatenated projections for the probe-verified fused-QKV
+        # tape (one (D, 3D) GEMM instead of three).  Snapshots, not
+        # donations — recompile after in-place weight updates.
+        self.wqkv = np.concatenate([self.wq, self.wk, self.wv], axis=1)
+        self.bqkv = np.concatenate([self.bq, self.bk, self.bv])
+        # The module path coerces the python-float scale into a float32
+        # scalar tensor; pre-cast once so the multiply matches bitwise.
+        self.scale = _const(1.0 / math.sqrt(attention.head_dim))
+        self.ln2_g, self.ln2_b = w(layer.norm2.gamma), w(layer.norm2.beta)
+        self.ln2_eps = _const(layer.norm2.eps)
+        self.w1, self.b1 = w(layer.ffn.fc1.weight), w(layer.ffn.fc1.bias)
+        self.w2, self.b2 = w(layer.ffn.fc2.weight), w(layer.ffn.fc2.bias)
+        self.activation = layer.ffn.activation
+
+
+class CompiledStudent:
+    """Flat numpy forward of a fitted student, bitwise-equal to the module.
+
+    Parameters
+    ----------
+    student:
+        A :class:`~repro.core.student.StudentModel` (typically in eval
+        mode; the compiled forward is always deterministic — dropout
+        does not exist here).
+    copy_weights:
+        Snapshot the weights instead of sharing the module's buffers.
+        Leave off for serving, where weights are fixed after load (zero
+        copies).  Either way, derived constants (fused QKV, the RevIN
+        denominator) are compile-time snapshots: recompile after any
+        weight update.
+
+    One engine instance is internally locked: concurrent ``predict``
+    calls serialize on the shared scratch buffers.  Returned arrays are
+    fresh copies — they never alias the scratch pool.
+    """
+
+    def __init__(self, student, copy_weights: bool = False):
+        config = student.config
+        self.config = config
+        self.history_length = config.history_length
+        self.horizon = config.horizon
+        self.num_variables = config.num_variables
+        self.num_heads = config.num_heads
+        self.head_dim = config.d_model // config.num_heads
+        self.d_model = config.d_model
+        self.ffn_dim = student.encoder.layers[0].ffn.fc1.out_features
+
+        w = lambda p: donate(p.data, copy=copy_weights)  # noqa: E731
+        revin = student.revin
+        self._revin_affine = revin.affine
+        self._revin_eps = _const(revin.eps)
+        if revin.affine:
+            self._revin_g, self._revin_b = w(revin.gamma), w(revin.beta)
+            # The module recomputes ``gamma + eps`` per call through a
+            # float32 scalar coercion; hoist it out of the hot path.
+            self._revin_denom = self._revin_g + self._revin_eps
+        else:
+            self._revin_g = self._revin_b = self._revin_denom = None
+        self._w_emb = w(student.inverted_embedding.weight)
+        self._b_emb = w(student.inverted_embedding.bias)
+        self._layers = [_LayerWeights(layer, copy_weights)
+                        for layer in student.encoder.layers]
+        self._final_g = w(student.encoder.final_norm.gamma)
+        self._final_b = w(student.encoder.final_norm.beta)
+        self._final_eps = _const(student.encoder.final_norm.eps)
+        self._w_head = w(student.head.weight)
+        self._b_head = w(student.head.bias)
+        # Tensor.mean multiplies by a float32-coerced ``1/heads``.
+        self._head_mean = _const(1.0 / self.num_heads)
+        # np.mean/np.var divide their float32 sums by an intp count
+        # through a float64 loop.  A float32-scalar divide is bitwise
+        # identical (float64→float32 double rounding is innocuous for
+        # binary32 division — 52 >= 2*24+2 significand bits, Figueroa
+        # 1995) and skips the mixed-dtype buffered path.
+        self._n_time = _const(self.history_length)
+        self._n_model = _const(self.d_model)
+        self._window_shape = (self.history_length, self.num_variables)
+
+        self._pool = ScratchPool()
+        self._plans: dict[int, _BatchPlan] = {}
+        self._lock = threading.Lock()
+        #: Forward-call / window counters (monitoring + benchmarks).
+        self.calls = 0
+        self.windows = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def predict(self, history: np.ndarray) -> np.ndarray:
+        """Forecast ``(B, M, N)`` from history windows ``(B, H, N)``.
+
+        Mirrors ``StudentModel.predict``: numpy in, numpy out, a single
+        ``(H, N)`` window is promoted to batch size 1 (the result keeps
+        the leading batch axis, exactly like the module path).
+        """
+        return self.forward(history)[0]
+
+    def forward(self, history: np.ndarray, need_attention: bool = False):
+        """Run the compiled forward; returns ``(prediction, attention)``.
+
+        ``attention`` is the head-averaged last-layer map ``(B, N, N)``
+        when requested, else ``None`` — and when it is not requested its
+        computation is skipped entirely, not just discarded.
+        """
+        x = self._check_input(history)
+        with self._lock:
+            self.calls += 1
+            self.windows += x.shape[0]
+            p = self._plan(x.shape[0])
+            np.copyto(p.x, x)
+            for op in (p.tape_attention if need_attention else p.tape):
+                op()
+            # Scratch buffers are recycled next call — hand out copies.
+            return (p.prediction.copy(),
+                    p.attention.copy() if need_attention else None)
+
+    def _check_input(self, history: np.ndarray) -> np.ndarray:
+        x = np.asarray(history, dtype=np.float32)
+        if x.ndim == 2:
+            x = x.reshape(1, *x.shape)
+        if x.ndim != 3 or x.shape[1:] != self._window_shape:
+            raise ValueError(
+                f"expected history of shape (B, {self.history_length}, "
+                f"{self.num_variables}), got {np.shape(history)}")
+        return x
+
+    @property
+    def scratch_nbytes(self) -> int:
+        """Bytes held by the per-batch-shape scratch buffers."""
+        return self._pool.nbytes
+
+    def release_scratch(self) -> None:
+        """Free all scratch buffers (they regrow on the next call)."""
+        with self._lock:
+            self._plans.clear()
+            self._pool.clear()
+
+    # ------------------------------------------------------------------
+    # the flat forward
+    # ------------------------------------------------------------------
+    def _plan(self, B: int) -> "_BatchPlan":
+        plan = self._plans.get(B)
+        if plan is None:
+            plan = _BatchPlan(self, B, self._pool)
+            plan.tape = self._build_tape(plan, need_attention=False)
+            plan.tape_attention = self._build_tape(plan, need_attention=True)
+            self._optimize_tapes(plan)
+            self._plans[B] = plan
+        return plan
+
+    def _optimize_tapes(self, plan: "_BatchPlan") -> None:
+        """Adopt the fastest tape variant a probe proves bitwise-equal.
+
+        Two verified transforms: *fused QKV* (one GEMM against the
+        concatenated ``(D, 3D)`` projection instead of three) and
+        *collapsed GEMM* (``(B*N, D)`` 2-D views instead of batched 3-D
+        matmul, hitting the direct cblas path).  Both only reorganize
+        the same per-element dot products, but BLAS/ufunc kernel
+        selection depends on shapes and strides — and those selections
+        are value-independent, so running each candidate once on a
+        random probe input and comparing bytes against the reference
+        tape is a sound equivalence check.  On the slightest mismatch
+        the reference stays.
+        """
+        probe = np.random.default_rng(0).standard_normal(
+            plan.x.shape).astype(np.float32)
+        np.copyto(plan.x, probe)
+        for op in plan.tape_attention:
+            op()
+        reference = plan.prediction.copy()
+        reference_attention = plan.attention.copy()
+        for fused, collapsed in ((True, True), (True, False), (False, True)):
+            candidate = self._build_tape(plan, True, fused_qkv=fused,
+                                         collapse_gemm=collapsed)
+            np.copyto(plan.x, probe)
+            for op in candidate:
+                op()
+            if (plan.prediction.tobytes() == reference.tobytes()
+                    and plan.attention.tobytes()
+                    == reference_attention.tobytes()):
+                plan.tape_attention = candidate
+                plan.tape = self._build_tape(plan, False, fused_qkv=fused,
+                                             collapse_gemm=collapsed)
+                return
+
+    def _build_tape(self, p: "_BatchPlan", need_attention: bool,
+                    fused_qkv: bool = False,
+                    collapse_gemm: bool = False) -> list:
+        """Record the whole forward as a flat list of pre-bound ops.
+
+        Every argument — weights, scratch buffers, views, scalar
+        constants — is fixed once the batch shape is known, so the hot
+        path degenerates to replaying ``functools.partial`` objects:
+        zero Python arithmetic, zero allocation, just ~100 ufunc/GEMM
+        calls into preallocated memory.
+        """
+        ops: list = []
+
+        # ``out`` rides positionally everywhere a ufunc accepts it (and
+        # the reduces bind their full positional signature): per-call
+        # keyword parsing costs ~100-200ns per op, which adds up over a
+        # ~120-op tape at serve batch sizes near 1.  Positional binding
+        # hits the same kernels — arg spelling never changes bits.
+        def emit(fn, *args):
+            ops.append(partial(fn, *args))
+
+        def emit_reduce(ufunc, src, axis, out):
+            # ufunc.reduce(array, axis, dtype, out, keepdims)
+            emit(ufunc.reduce, src, axis, None, out, True)
+
+        def emit_gemm(src, w, out):
+            # (B, N, D) @ (D, K) batched matmul, or its (B*N, D) 2-D
+            # collapse (same dot products, direct cblas path).  Only
+            # buffers with a registered contiguous 2-D alias collapse;
+            # transpose views (the embedding input) stay 3-D.
+            src2, out2 = p.flat2d.get(id(src)), p.flat2d.get(id(out))
+            if collapse_gemm and src2 is not None and out2 is not None:
+                src, out = src2, out2
+            emit(np.matmul, src, w, out)
+
+        def emit_mean(src, axis, out, count):
+            # np.add.reduce + divide-by-count is exactly what np.mean
+            # runs internally — same bits, none of the Python wrapper
+            # overhead.  np.var == this mean, a centered square, and
+            # the same reduce/divide again.
+            emit_reduce(np.add, src, axis, out)
+            emit(np.true_divide, out, count, out)
+
+        def emit_layer_norm(src, gamma, beta, eps):
+            # Op-for-op mirror of norm._fused_layer_norm's forward:
+            # x_hat = (x - mean) * 1/sqrt(var + eps), then affine.
+            # (np.reciprocal is correctly-rounded division, bitwise
+            # equal to the module's ``1.0 / sqrt`` — both binary32
+            # quotients of the same operands.)
+            emit_mean(src, -1, p.red, self._n_model)
+            emit(np.subtract, src, p.red, p.normed)
+            emit(np.multiply, p.normed, p.normed, p.sq_nd)
+            emit_mean(p.sq_nd, -1, p.red, self._n_model)
+            emit(np.add, p.red, eps, p.red)
+            emit(np.sqrt, p.red, p.red)
+            emit(np.reciprocal, p.red, p.red)
+            emit(np.multiply, p.normed, p.red, p.normed)
+            emit(np.multiply, p.normed, gamma, p.normed)
+            emit(np.add, p.normed, beta, p.normed)
+
+        # RevIN normalize (statistics over time, per instance/variable).
+        emit_mean(p.x, 1, p.mean, self._n_time)
+        emit(np.subtract, p.x, p.mean, p.norm)
+        emit(np.multiply, p.norm, p.norm, p.sq_hn)
+        emit_mean(p.sq_hn, 1, p.std, self._n_time)
+        emit(np.add, p.std, self._revin_eps, p.std)
+        emit(np.sqrt, p.std, p.std)
+        emit(np.divide, p.norm, p.std, p.norm)
+        if self._revin_affine:
+            emit(np.multiply, p.norm, self._revin_g, p.norm)
+            emit(np.add, p.norm, self._revin_b, p.norm)
+
+        # Inverted embedding: each variable's whole history is one token.
+        emit_gemm(p.norm_t, self._w_emb, p.tokens)
+        emit(np.add, p.tokens, self._b_emb, p.tokens)
+
+        # Pre-LN encoder stack.
+        last = len(self._layers) - 1
+        for index, layer in enumerate(self._layers):
+            emit_layer_norm(p.tokens, layer.ln1_g, layer.ln1_b,
+                            layer.ln1_eps)
+            if fused_qkv:
+                emit_gemm(p.normed, layer.wqkv, p.qkv)
+                emit(np.add, p.qkv, layer.bqkv, p.qkv)
+                qh, kh_t, vh = p.qh_f, p.kh_tf, p.vh_f
+            else:
+                emit_gemm(p.normed, layer.wq, p.q3)
+                emit(np.add, p.q3, layer.bq, p.q3)
+                emit_gemm(p.normed, layer.wk, p.k3)
+                emit(np.add, p.k3, layer.bk, p.k3)
+                emit_gemm(p.normed, layer.wv, p.v3)
+                emit(np.add, p.v3, layer.bv, p.v3)
+                qh, kh_t, vh = p.qh, p.kh_t, p.vh
+            emit(np.matmul, qh, kh_t, p.scores)
+            emit(np.multiply, p.scores, layer.scale, p.scores)
+            # Numerically stable softmax, in place.
+            emit_reduce(np.maximum, p.scores, -1, p.score_red)
+            emit(np.subtract, p.scores, p.score_red, p.scores)
+            emit(np.exp, p.scores, p.scores)
+            emit_reduce(np.add, p.scores, -1, p.score_red)
+            emit(np.divide, p.scores, p.score_red, p.scores)
+            if need_attention and index == last:
+                # Head average via sum * (1/heads), matching Tensor.mean.
+                emit(np.add.reduce, p.scores, 1, None, p.attention)
+                emit(np.multiply, p.attention, self._head_mean,
+                     p.attention)
+            emit(np.matmul, p.scores, vh, p.context)
+            emit(np.copyto, p.merged4, p.context_t)
+            emit_gemm(p.merged, layer.wo, p.sub_out)
+            emit(np.add, p.sub_out, layer.bo, p.sub_out)
+            emit(np.add, p.tokens, p.sub_out, p.tokens)
+
+            emit_layer_norm(p.tokens, layer.ln2_g, layer.ln2_b,
+                            layer.ln2_eps)
+            emit_gemm(p.normed, layer.w1, p.hidden)
+            emit(np.add, p.hidden, layer.b1, p.hidden)
+            if layer.activation == "relu":
+                # Mirror Tensor.relu's mask-multiply (keeps -0.0 bits).
+                emit(np.greater, p.hidden, _ZERO, p.mask)
+                emit(np.multiply, p.hidden, p.mask, p.hidden)
+            else:
+                _emit_gelu(emit, p.hidden, p.gelu_inner)
+            emit_gemm(p.hidden, layer.w2, p.sub_out)
+            emit(np.add, p.sub_out, layer.b2, p.sub_out)
+            emit(np.add, p.tokens, p.sub_out, p.tokens)
+
+        emit_layer_norm(p.tokens, self._final_g, self._final_b,
+                        self._final_eps)
+
+        # Projection head + RevIN de-normalization.
+        emit_gemm(p.normed, self._w_head, p.projected)
+        emit(np.add, p.projected, self._b_head, p.projected)
+        if self._revin_affine:
+            emit(np.subtract, p.projected_t, self._revin_b, p.prediction)
+            emit(np.divide, p.prediction, self._revin_denom, p.prediction)
+        else:
+            emit(np.copyto, p.prediction, p.projected_t)
+        emit(np.multiply, p.prediction, p.std, p.prediction)
+        emit(np.add, p.prediction, p.mean, p.prediction)
+        return ops
+
+
+class _BatchPlan:
+    """Scratch buffers, fixed views and op tapes for one batch size.
+
+    Built once per batch shape from the engine's :class:`ScratchPool`
+    and reused on every subsequent call with that shape — the steady
+    state of a serving loop allocates nothing.
+    """
+
+    __slots__ = ("x", "mean", "std", "norm", "norm_t", "sq_hn", "tokens",
+                 "normed", "red", "sq_nd", "q3", "k3", "v3", "qh", "kh_t",
+                 "vh", "qkv", "qh_f", "kh_tf", "vh_f", "scores",
+                 "score_red", "context", "context_t", "merged", "merged4",
+                 "sub_out", "hidden", "mask", "gelu_inner", "attention",
+                 "projected", "projected_t", "prediction", "flat2d", "tape",
+                 "tape_attention")
+
+    def __init__(self, engine: "CompiledStudent", B: int, pool: ScratchPool):
+        H, N = engine.history_length, engine.num_variables
+        D, M = engine.d_model, engine.horizon
+        heads, hd = engine.num_heads, engine.head_dim
+        F = engine.ffn_dim
+        take = lambda name, shape, dtype=np.float32: \
+            pool.take(f"{name}@{B}", shape, dtype)  # noqa: E731
+        self.x = take("x", (B, H, N))
+        self.mean = take("mean", (B, 1, N))
+        self.std = take("std", (B, 1, N))
+        self.norm = take("norm", (B, H, N))
+        self.norm_t = self.norm.transpose(0, 2, 1)
+        self.sq_hn = take("sq_hn", (B, H, N))
+        self.tokens = take("tokens", (B, N, D))
+        self.normed = take("normed", (B, N, D))
+        self.red = take("red", (B, N, 1))
+        self.sq_nd = take("sq_nd", (B, N, D))
+        self.q3 = take("q3", (B, N, D))
+        self.k3 = take("k3", (B, N, D))
+        self.v3 = take("v3", (B, N, D))
+        self.qh = self.q3.reshape(B, N, heads, hd).transpose(0, 2, 1, 3)
+        self.kh_t = (self.k3.reshape(B, N, heads, hd)
+                     .transpose(0, 2, 1, 3).transpose(0, 1, 3, 2))
+        self.vh = self.v3.reshape(B, N, heads, hd).transpose(0, 2, 1, 3)
+        # Fused-QKV variant: one (B, N, 3D) buffer, head views striding
+        # through its q/k/v thirds (adopted only if the probe passes).
+        self.qkv = take("qkv", (B, N, 3 * D))
+        split = lambda start: (self.qkv[..., start:start + D]  # noqa: E731
+                               .reshape(B, N, heads, hd).transpose(0, 2, 1, 3))
+        self.qh_f = split(0)
+        self.kh_tf = split(D).transpose(0, 1, 3, 2)
+        self.vh_f = split(2 * D)
+        self.scores = take("scores", (B, heads, N, N))
+        self.score_red = take("score_red", (B, heads, N, 1))
+        self.context = take("context", (B, heads, N, hd))
+        self.context_t = self.context.transpose(0, 2, 1, 3)
+        self.merged = take("merged", (B, N, D))
+        self.merged4 = self.merged.reshape(B, N, heads, hd)
+        self.sub_out = take("sub_out", (B, N, D))
+        self.hidden = take("hidden", (B, N, F))
+        self.mask = take("mask", (B, N, F), dtype=bool)
+        self.gelu_inner = (take("gelu_inner", (B, N, F))
+                           if any(layer.activation != "relu"
+                                  for layer in engine._layers) else None)
+        self.attention = take("attention", (B, N, N))
+        self.projected = take("projected", (B, N, M))
+        self.projected_t = self.projected.transpose(0, 2, 1)
+        self.prediction = take("prediction", (B, M, N))
+        # Contiguous 2-D aliases for the collapsed-GEMM tape variant:
+        # (B, N, K) @ (D, K) weight matmuls become one (B*N, K) GEMM.
+        # Transpose views (norm_t, context_t, projected_t) have none —
+        # GEMMs touching them always stay 3-D.
+        self.flat2d = {id(b): b.reshape(B * N, b.shape[-1])
+                       for b in (self.tokens, self.normed, self.q3, self.k3,
+                                 self.v3, self.qkv, self.merged,
+                                 self.sub_out, self.hidden, self.projected)}
+        self.tape: list | None = None
+        self.tape_attention: list | None = None
+
+
+_GELU_CUBIC = _const(0.044715)
+_GELU_SQRT_2_OVER_PI = _const(math.sqrt(2.0 / math.pi))
+_GELU_ONE = _const(1.0)
+_GELU_HALF = _const(0.5)
+
+
+def _emit_gelu(emit, x: np.ndarray, inner: np.ndarray) -> None:
+    """Tanh-approximation GELU mirroring ``repro.nn.functional.gelu``."""
+    emit(np.multiply, x, x, inner)
+    emit(np.multiply, inner, x, inner)
+    emit(np.multiply, inner, _GELU_CUBIC, inner)
+    emit(np.add, x, inner, inner)
+    emit(np.multiply, inner, _GELU_SQRT_2_OVER_PI, inner)
+    emit(np.tanh, inner, inner)
+    emit(np.add, inner, _GELU_ONE, inner)
+    emit(np.multiply, x, _GELU_HALF, x)
+    emit(np.multiply, x, inner, x)

@@ -7,6 +7,7 @@ Pre-LN transformers, optimizers and schedulers.
 
 from . import functional, init
 from .attention import MultiHeadAttention, causal_mask
+from .buffers import ScratchPool, donate, donate_parameters
 from .dropout import Dropout
 from .embedding import Embedding, PositionalEncoding, SinusoidalPositionalEncoding
 from .linear import Linear
@@ -28,6 +29,9 @@ __all__ = [
     "concatenate",
     "stack",
     "where",
+    "ScratchPool",
+    "donate",
+    "donate_parameters",
     "Parameter",
     "Module",
     "ModuleList",

@@ -21,11 +21,18 @@ __all__ = ["Optimizer", "SGD", "Adam", "AdamW", "clip_grad_norm"]
 def clip_grad_norm(parameters, max_norm: float) -> float:
     """Scale gradients in place so their global L2 norm is <= ``max_norm``.
 
-    Returns the pre-clipping norm.
+    Returns the pre-clipping norm.  The squared norm accumulates in
+    float64: a float32 dot product over a large parameter group both
+    loses low-order bits and can overflow to ``inf`` (float32 tops out
+    at ~3.4e38, i.e. gradient magnitudes of only ~1.8e19), which would
+    silently zero every gradient via ``scale = max_norm / inf``.  The
+    einsum accumulates through a small buffered cast — no full-size
+    float64 temporary per step.
     """
     grads = [p.grad for p in parameters if p.grad is not None]
     total = math.sqrt(sum(
-        float(np.dot(g.ravel(), g.ravel())) for g in grads))
+        float(np.einsum("i,i->", g.ravel(), g.ravel(),
+                        dtype=np.float64)) for g in grads))
     if total > max_norm and total > 0.0:
         scale = max_norm / total
         for g in grads:
@@ -42,9 +49,20 @@ class Optimizer:
             raise ValueError("optimizer received no trainable parameters")
         self.lr = lr
 
-    def zero_grad(self) -> None:
+    def zero_grad(self, set_to_none: bool = True) -> None:
+        """Reset gradients before the next backward pass.
+
+        ``set_to_none=False`` zeroes existing grad buffers in place
+        instead of dropping them, so ``Tensor._accumulate`` adds into
+        the same allocation every step — the allocation-free contract
+        the rest of this module keeps.  (``None`` remains the default:
+        it lets ``step()`` skip untouched parameters entirely.)
+        """
         for p in self.parameters:
-            p.grad = None
+            if set_to_none:
+                p.grad = None
+            elif p.grad is not None:
+                p.grad.fill(0.0)
 
     def step(self) -> None:
         raise NotImplementedError

@@ -10,7 +10,14 @@ __all__ = ["LRScheduler", "StepLR", "CosineAnnealingLR", "WarmupCosineLR"]
 
 
 class LRScheduler:
-    """Base scheduler; call :meth:`step` once per epoch (or iteration)."""
+    """Base scheduler; call :meth:`step` once per epoch (or iteration).
+
+    Follows the epoch-0-equals-base-lr convention: the first
+    :meth:`step` computes the LR *at* ``epoch`` before advancing it, so
+    the first training epoch runs at ``base_lr`` (decay schedules used
+    to skip it by incrementing first — epoch 1 of a cosine schedule was
+    already decayed).
+    """
 
     def __init__(self, optimizer: Optimizer):
         self.optimizer = optimizer
@@ -21,9 +28,9 @@ class LRScheduler:
         raise NotImplementedError
 
     def step(self) -> float:
-        self.epoch += 1
         lr = self.get_lr()
         self.optimizer.lr = lr
+        self.epoch += 1
         return lr
 
 
@@ -40,7 +47,11 @@ class StepLR(LRScheduler):
 
 
 class CosineAnnealingLR(LRScheduler):
-    """Cosine decay from the base LR to ``min_lr`` over ``t_max`` epochs."""
+    """Cosine decay from the base LR to ``min_lr`` over ``t_max`` epochs.
+
+    Epoch 0 runs at ``base_lr``; ``min_lr`` is reached at epoch
+    ``t_max`` (i.e. on the ``t_max + 1``-th step).
+    """
 
     def __init__(self, optimizer: Optimizer, t_max: int, min_lr: float = 0.0):
         super().__init__(optimizer)
@@ -54,7 +65,12 @@ class CosineAnnealingLR(LRScheduler):
 
 
 class WarmupCosineLR(CosineAnnealingLR):
-    """Linear warmup followed by cosine decay (used for LM pretraining)."""
+    """Linear warmup followed by cosine decay (used for LM pretraining).
+
+    Warmup ramps over the first ``warmup`` steps (``base_lr / warmup``
+    up to ``base_lr``) and the cosine leg follows — a warmup schedule
+    intentionally does *not* start at ``base_lr``.
+    """
 
     def __init__(self, optimizer: Optimizer, warmup: int, t_max: int,
                  min_lr: float = 0.0):
@@ -62,8 +78,8 @@ class WarmupCosineLR(CosineAnnealingLR):
         self.warmup = max(1, warmup)
 
     def get_lr(self) -> float:
-        if self.epoch <= self.warmup:
-            return self.base_lr * self.epoch / self.warmup
-        progress = min(self.epoch - self.warmup, self.t_max) / self.t_max
+        if self.epoch < self.warmup:
+            return self.base_lr * (self.epoch + 1) / self.warmup
+        progress = min(self.epoch + 1 - self.warmup, self.t_max) / self.t_max
         cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
         return self.min_lr + (self.base_lr - self.min_lr) * cosine

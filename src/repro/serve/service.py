@@ -21,6 +21,7 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from ..core.student import StudentModel
+from ..infer import CompiledStudent, resolve_engine
 from .artifact import (
     ArtifactError,
     StudentArtifact,
@@ -64,11 +65,19 @@ class _Request:
 
 
 class _LoadedModel:
-    __slots__ = ("artifact", "student")
+    __slots__ = ("artifact", "student", "compiled")
 
-    def __init__(self, artifact: StudentArtifact, student: StudentModel):
+    def __init__(self, artifact: StudentArtifact, student: StudentModel,
+                 compiled: CompiledStudent | None = None):
         self.artifact = artifact
         self.student = student
+        #: Tape-free engine for this entry (None on the module engine).
+        self.compiled = compiled
+
+    def predict(self, histories: np.ndarray) -> np.ndarray:
+        if self.compiled is not None:
+            return self.compiled.predict(histories)
+        return self.student.predict(histories)
 
 
 class ForecastService:
@@ -85,6 +94,12 @@ class ForecastService:
         Resident-model cap; least-recently-used bundles are evicted.
     max_batch:
         Upper bound on how many queued requests one forward coalesces.
+    engine:
+        Inference engine for the batched forwards: ``"module"`` (the
+        autograd student under ``no_grad``) or ``"compiled"`` (a
+        tape-free :class:`repro.infer.CompiledStudent` built per LRU
+        entry at load time).  The engines are bitwise identical —
+        switching never changes a served forecast, only its cost.
 
     Requests enter through :meth:`submit` (returns a
     :class:`~concurrent.futures.Future`) or the blocking :meth:`predict`.
@@ -94,7 +109,7 @@ class ForecastService:
     """
 
     def __init__(self, artifact_dir: str, max_models: int = 4,
-                 max_batch: int = 64):
+                 max_batch: int = 64, engine: str = "module"):
         if max_models < 1:
             raise ValueError("max_models must be >= 1")
         if max_batch < 1:
@@ -102,6 +117,7 @@ class ForecastService:
         self.artifact_dir = artifact_dir
         self.max_models = int(max_models)
         self.max_batch = int(max_batch)
+        self.engine = resolve_engine(engine)
         self.stats = ServiceStats()
 
         self._paths: dict[tuple[str, int], str] = {}
@@ -203,7 +219,10 @@ class ForecastService:
         if path is None:
             raise KeyError(f"no artifact registered for {key!r}")
         artifact = load_student_artifact(path)
-        model = _LoadedModel(artifact, artifact.build_student())
+        student = artifact.build_student()
+        compiled = (CompiledStudent(student)
+                    if self.engine == "compiled" else None)
+        model = _LoadedModel(artifact, student, compiled)
         with self._lock:
             self._models[key] = model
             self._models.move_to_end(key)
@@ -299,7 +318,7 @@ class ForecastService:
             if request.raw_values:
                 window = scaler.transform(window).astype(np.float32)
             histories.append(window)
-        predictions = model.student.predict(np.stack(histories))
+        predictions = model.predict(np.stack(histories))
         for request, prediction in zip(batch, predictions):
             if request.raw_values:
                 prediction = scaler.inverse_transform(prediction)

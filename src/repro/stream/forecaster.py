@@ -9,7 +9,10 @@ demand).  Each trigger submits the current window to the underlying
 concurrent series share the same micro-batched student forwards — the
 streaming layer adds state and policy, never a second inference path,
 which is what makes replayed streams bitwise identical to offline
-``predict()`` (see :mod:`repro.stream.replay`).
+``predict()`` (see :mod:`repro.stream.replay`).  The inference engine
+(module vs. tape-free compiled, see :mod:`repro.infer`) is therefore
+inherited from the service — and because the engines are bitwise
+identical, the replay parity guarantee holds under either.
 
 A per-key :class:`DriftMonitor` scores every realized tick against the
 forecast previously issued for it; alarmed series are flagged for
@@ -302,5 +305,6 @@ class StreamingForecaster:
         stream = self.stats.as_dict()
         stream["series"] = len(self.ingestor.keys())
         stream["alarmed"] = len(self.alarmed_keys())
-        return {"stream": stream,
-                "service": self.service.snapshot().as_dict()}
+        service = self.service.snapshot().as_dict()
+        service["engine"] = self.service.engine
+        return {"stream": stream, "service": service}

@@ -52,7 +52,22 @@ class TestMetrics:
 
     def test_forecast_metrics_keys(self):
         out = forecast_metrics(np.ones(4), np.zeros(4))
-        assert set(out) == {"mse", "mae", "rmse", "smape"}
+        assert set(out) == {"mse", "mae", "rmse", "mape", "smape"}
+
+    def test_forecast_metrics_values_match_functions(self):
+        rng = np.random.default_rng(7)
+        p = rng.normal(size=(6, 3))
+        t = rng.normal(size=(6, 3))
+        out = forecast_metrics(p, t)
+        assert out["mape"] == pytest.approx(mape(p, t))
+        assert out["smape"] == pytest.approx(smape(p, t))
+        assert out["rmse"] == pytest.approx(rmse(p, t))
+
+    def test_forecast_metrics_mape_zero_target_guarded(self):
+        # the dict path must keep mape's zero-target guard: all-zero
+        # targets still produce a finite value, not inf/nan
+        out = forecast_metrics(np.ones(4), np.zeros(4))
+        assert np.isfinite(out["mape"])
 
     @settings(max_examples=25, deadline=None)
     @given(st.integers(0, 2**31 - 1))

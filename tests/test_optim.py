@@ -76,6 +76,35 @@ class TestOptimizers:
         Adam([p], lr=0.1).step()  # no grad accumulated; must not crash
         np.testing.assert_allclose(p.data, [1.0])
 
+    def test_zero_grad_set_to_none_false_reuses_buffers(self):
+        p = _quadratic_param()
+        opt = SGD([p], lr=0.1)
+        (p * p).sum().backward()
+        buffer = p.grad
+        assert buffer is not None
+        opt.zero_grad(set_to_none=False)
+        assert p.grad is buffer  # same allocation, zeroed in place
+        np.testing.assert_array_equal(p.grad, [0.0])
+        (p * p).sum().backward()
+        assert p.grad is buffer  # accumulation reused it too
+
+    def test_zero_grad_default_drops_buffers(self):
+        p = _quadratic_param()
+        opt = SGD([p], lr=0.1)
+        (p * p).sum().backward()
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_zero_grad_buffer_reuse_matches_default(self):
+        reused, dropped = _quadratic_param(), _quadratic_param()
+        for p, set_to_none in ((reused, False), (dropped, True)):
+            opt = SGD([p], lr=0.1)
+            for _ in range(5):
+                opt.zero_grad(set_to_none=set_to_none)
+                (p * p).sum().backward()
+                opt.step()
+        np.testing.assert_array_equal(reused.data, dropped.data)
+
 
 class TestClipping:
     def test_clip_reduces_norm(self):
@@ -91,22 +120,54 @@ class TestClipping:
         clip_grad_norm([p], max_norm=1.0)
         np.testing.assert_allclose(p.grad, [0.1, 0.1])
 
+    def test_clip_survives_float32_overflow(self):
+        # a float32 dot of these grads overflows to inf (|g|^2 ~ 1e40),
+        # which would zero every gradient via scale = max_norm / inf;
+        # the float64 accumulation must keep the norm finite instead
+        p = Parameter(np.ones(4, np.float32))
+        p.grad = np.full(4, 1e20, np.float32)
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert np.isfinite(norm)
+        assert norm == pytest.approx(2e20, rel=1e-6)
+        assert np.linalg.norm(p.grad.astype(np.float64)) == pytest.approx(
+            1.0, rel=1e-5)
+
+    def test_clip_accumulates_in_float64(self):
+        # 16M float32 ones: naive float32 accumulation stalls well below
+        # the true sum of squares; float64 keeps every increment
+        n = 1 << 24
+        p = Parameter(np.ones(n, np.float32))
+        p.grad = np.ones(n, np.float32)
+        norm = clip_grad_norm([p], max_norm=np.inf)
+        assert norm == pytest.approx(float(np.sqrt(n)), rel=1e-12)
+
 
 class TestSchedulers:
+    def test_first_step_runs_at_base_lr(self):
+        # regression: step() used to advance the epoch before computing
+        # the LR, so epoch 1 of every decay schedule was already decayed
+        for sched_for in (
+                lambda opt: StepLR(opt, step_size=2, gamma=0.5),
+                lambda opt: CosineAnnealingLR(opt, t_max=10, min_lr=0.1),
+        ):
+            opt = SGD([_quadratic_param()], lr=1.0)
+            assert sched_for(opt).step() == pytest.approx(1.0)
+            assert opt.lr == pytest.approx(1.0)
+
     def test_step_lr_halves(self):
         p = _quadratic_param()
         opt = SGD([p], lr=1.0)
         sched = StepLR(opt, step_size=2, gamma=0.5)
-        lrs = [sched.step() for _ in range(4)]
-        assert lrs == [1.0, 0.5, 0.5, 0.25]
+        lrs = [sched.step() for _ in range(5)]
+        assert lrs == [1.0, 1.0, 0.5, 0.5, 0.25]
 
-    def test_cosine_reaches_min(self):
+    def test_cosine_first_and_last_lr(self):
         p = _quadratic_param()
         opt = SGD([p], lr=1.0)
         sched = CosineAnnealingLR(opt, t_max=10, min_lr=0.1)
-        for _ in range(10):
-            lr = sched.step()
-        assert lr == pytest.approx(0.1, abs=1e-6)
+        lrs = [sched.step() for _ in range(11)]
+        assert lrs[0] == pytest.approx(1.0)  # epoch 0 at base_lr
+        assert lrs[-1] == pytest.approx(0.1, abs=1e-6)  # epoch t_max at min
 
     def test_warmup_ramps_then_decays(self):
         p = _quadratic_param()
