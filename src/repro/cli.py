@@ -22,7 +22,11 @@ constructing a trainer or pretraining a CLM.  Those four subcommands
 take ``--engine {module,compiled}`` selecting the inference engine:
 ``compiled`` (the default) runs the tape-free :mod:`repro.infer`
 forward, bitwise identical to the autograd module path and several
-times faster per window.
+times faster per window.  ``--precision {float32,mixed,int8}`` selects
+the compiled engine's numeric mode (reduced modes are gated by a
+compile-time error budget; see ``repro.infer.ErrorBudget``), and
+``serve``/``stream`` take ``--serve-threads`` to drain batches for
+different models concurrently.
 """
 
 from __future__ import annotations
@@ -69,12 +73,59 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                              "of encoding the whole train split up front")
 
 
+def _engine_type(value: str) -> str:
+    """argparse type hook: fail fast with the canonical engine message."""
+    from .infer import resolve_engine
+
+    try:
+        return resolve_engine(value)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error))
+
+
+def _precision_type(value: str) -> str:
+    """argparse type hook: fail fast with the canonical precision message."""
+    from .infer import resolve_precision
+
+    try:
+        return resolve_precision(value)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error))
+
+
 def _add_engine(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--engine", default="compiled",
-                        choices=["module", "compiled"],
+    from .infer import ENGINES, PRECISIONS
+
+    parser.add_argument("--engine", default="compiled", type=_engine_type,
+                        metavar="{" + ",".join(ENGINES) + "}",
                         help="inference engine: the tape-free compiled "
                              "numpy forward (default) or the autograd "
-                             "module path; both are bitwise identical")
+                             "module path; both are bitwise identical at "
+                             "float32 precision")
+    parser.add_argument("--precision", default="float32",
+                        type=_precision_type,
+                        metavar="{" + ",".join(PRECISIONS) + "}",
+                        help="compiled-engine numeric mode: float32 "
+                             "(bitwise parity, default), mixed (float64 "
+                             "accumulation for reductions) or int8 "
+                             "(per-channel quantized projections); "
+                             "reduced modes require --engine compiled and "
+                             "are rejected at compile time if the probe "
+                             "error exceeds the error budget")
+
+
+def _check_engine_flags(parser: argparse.ArgumentParser, args) -> None:
+    """Cross-flag validation that argparse types cannot see."""
+    if getattr(args, "precision", "float32") != "float32":
+        if getattr(args, "engine", "compiled") != "compiled":
+            parser.error(
+                f"--precision {args.precision} requires --engine compiled "
+                f"(the module path is float32-only)")
+        if getattr(args, "verify", False):
+            parser.error(
+                f"--verify asserts bitwise parity with offline predict, "
+                f"which only holds at --precision float32 "
+                f"(got {args.precision})")
 
 
 def _scale(args) -> ExperimentScale:
@@ -136,7 +187,8 @@ def _cmd_evaluate(args) -> int:
     config = model.config
     data = _data(args, history_length=config.history_length,
                  horizon=config.horizon)
-    metrics = model.evaluate(data.test, engine=args.engine)
+    metrics = model.evaluate(data.test, engine=args.engine,
+                             precision=args.precision)
     print(f"test MSE={metrics['mse']:.4f} MAE={metrics['mae']:.4f}")
     return 0
 
@@ -162,7 +214,8 @@ def _cmd_predict(args) -> int:
         from .serve import ForecastService
 
         with ForecastService(os.path.dirname(os.path.abspath(
-                args.artifact)), engine=args.engine) as service:
+                args.artifact)), engine=args.engine,
+                precision=args.precision) as service:
             batch = windows[None] if windows.ndim == 2 else windows
             dataset = metadata.get("dataset") or None
             futures = [service.submit(window, dataset=dataset,
@@ -175,7 +228,8 @@ def _cmd_predict(args) -> int:
     else:
         model = TimeKDForecaster.from_artifact(args.artifact)
         forecast = model.predict(windows, raw_values=args.raw,
-                                 engine=args.engine)
+                                 engine=args.engine,
+                                 precision=args.precision)
     print(f"forecast shape: {np.asarray(forecast).shape} "
           f"(horizon {config.horizon}, "
           f"{config.num_variables} variables)")
@@ -223,11 +277,13 @@ def _cmd_serve(args) -> int:
 
     with ForecastService(args.artifacts, max_models=args.max_models,
                          max_batch=args.max_batch,
-                         engine=args.engine) as service, \
+                         engine=args.engine, precision=args.precision,
+                         serve_threads=args.serve_threads) as service, \
             _graceful_shutdown(service):
         keys = service.keys()
         print(f"serving {len(keys)} artifact(s) from {args.artifacts} "
-              f"[{service.engine} engine]: {sorted(keys)}")
+              f"[{service.engine} engine, {service.precision}, "
+              f"{service.serve_threads} drain thread(s)]: {sorted(keys)}")
         key = service.resolve_key(args.dataset, args.horizon)
         if args.input:
             windows = np.load(args.input)
@@ -250,11 +306,16 @@ def _cmd_serve(args) -> int:
                    for window in windows]
         forecasts = np.stack([f.result() for f in futures])
         elapsed = time.perf_counter() - start
-        stats = service.stats.as_dict()
+        stats = service.snapshot().as_dict()
     print(f"{len(windows)} requests in {elapsed:.3f}s "
           f"({len(windows) / max(elapsed, 1e-9):.1f} req/s), "
           f"{stats['batches']} batches, "
           f"max coalesced {stats['max_coalesced']}")
+    if stats["plan_rebuilds"]:
+        print(f"plan cache: {stats['plan_hits']} hits, "
+              f"{stats['plan_misses']} misses, "
+              f"{stats['plan_evictions']} evictions, "
+              f"{stats['plan_rebuilds']} rebuild(s)")
     if args.out:
         np.save(args.out, forecasts)
         print(f"forecasts saved to {args.out}")
@@ -267,7 +328,8 @@ def _cmd_stream(args) -> int:
 
     with ForecastService(args.artifacts, max_models=args.max_models,
                          max_batch=args.max_batch,
-                         engine=args.engine) as service, \
+                         engine=args.engine, precision=args.precision,
+                         serve_threads=args.serve_threads) as service, \
             _graceful_shutdown(service):
         key = service.resolve_key(args.dataset, args.horizon)
         config = service.config_for(key)
@@ -401,6 +463,10 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument("--raw", action="store_true")
     serve.add_argument("--max-models", type=int, default=4)
     serve.add_argument("--max-batch", type=int, default=64)
+    serve.add_argument("--serve-threads", type=int, default=1,
+                       help="drain batches for up to this many different "
+                            "models concurrently (per-model FIFO order is "
+                            "preserved)")
     serve.add_argument("--out", default=None, help="save forecasts (.npy)")
     _add_engine(serve)
     serve.set_defaults(func=_cmd_serve)
@@ -436,6 +502,10 @@ def main(argv: list[str] | None = None) -> int:
                              "identical to offline predict")
     stream.add_argument("--max-models", type=int, default=4)
     stream.add_argument("--max-batch", type=int, default=64)
+    stream.add_argument("--serve-threads", type=int, default=1,
+                        help="drain batches for up to this many different "
+                             "models concurrently (per-model FIFO order is "
+                             "preserved)")
     stream.add_argument("--stats-out", default=None, metavar="JSON",
                         help="dump replay + service stats as JSON")
     _add_engine(stream)
@@ -449,6 +519,7 @@ def main(argv: list[str] | None = None) -> int:
     compare.set_defaults(func=_cmd_compare)
 
     args = parser.parse_args(argv)
+    _check_engine_flags(parser, args)
     return args.func(args)
 
 

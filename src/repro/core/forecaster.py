@@ -32,6 +32,19 @@ from .trainer import TimeKDTrainer
 __all__ = ["TimeKDForecaster"]
 
 
+def _resolve_engine_precision(engine: str, precision: str) -> tuple[str, str]:
+    """Validate the engine/precision pair, failing fast on conflicts."""
+    from ..infer import resolve_engine, resolve_precision
+
+    engine = resolve_engine(engine)
+    precision = resolve_precision(precision)
+    if precision != "float32" and engine != "compiled":
+        raise ValueError(
+            f"precision={precision!r} requires engine='compiled' "
+            f"(the module path is float32-only)")
+    return engine, precision
+
+
 class TimeKDForecaster:
     """High-level TimeKD forecaster.
 
@@ -49,7 +62,7 @@ class TimeKDForecaster:
         self._clm_released = False
         self.trainer: TimeKDTrainer | None = None
         self._student: StudentModel | None = None
-        self._compiled = None
+        self._compiled: dict = {}
         self._scaler: StandardScaler | None = None
         #: Provenance of the bundle this forecaster was restored from
         #: (empty for fitted forecasters until :meth:`save`).
@@ -69,7 +82,7 @@ class TimeKDForecaster:
         self.config = self.trainer.config  # may absorb data shape updates
         self.trainer.fit()
         self._student = self.trainer.student
-        self._compiled = None  # stale: compiled against the old weights
+        self._compiled.clear()  # stale: compiled against the old weights
         self._scaler = data.scaler
         return self
 
@@ -96,25 +109,30 @@ class TimeKDForecaster:
     # ------------------------------------------------------------------
     # inference
     # ------------------------------------------------------------------
-    def compile(self, force: bool = False):
+    def compile(self, force: bool = False, precision: str = "float32"):
         """Tape-free :class:`repro.infer.CompiledStudent` of the student.
 
-        Compiled once and cached (``fit()`` invalidates the cache).  The
-        engine snapshots derived constants at compile time, so after
-        mutating student weights — in place or via ``load_state_dict`` —
-        recompile with ``force=True`` or the cached engine serves stale
-        forecasts.
+        Compiled once per precision mode and cached (``fit()``
+        invalidates the cache).  The engine snapshots derived constants
+        at compile time, so after mutating student weights — in place or
+        via ``load_state_dict`` — recompile with ``force=True`` or the
+        cached engine serves stale forecasts.  Reduced-precision modes
+        (``"mixed"``, ``"int8"``) are gated by the engine's compile-time
+        error budget — see :class:`repro.infer.ErrorBudget`.
         """
-        from ..infer import CompiledStudent
+        from ..infer import CompiledStudent, resolve_precision
 
         self._check_fitted()
-        if self._compiled is None or force:
+        precision = resolve_precision(precision)
+        if precision not in self._compiled or force:
             self._student.eval()
-            self._compiled = CompiledStudent(self._student)
-        return self._compiled
+            self._compiled[precision] = CompiledStudent(
+                self._student, precision=precision)
+        return self._compiled[precision]
 
     def predict(self, history: np.ndarray, raw_values: bool = False,
-                engine: str = "module") -> np.ndarray:
+                engine: str = "module",
+                precision: str = "float32") -> np.ndarray:
         """Forecast ``(B, M, N)`` (or ``(M, N)``) from history windows.
 
         With ``raw_values=True`` the input is interpreted in original
@@ -124,11 +142,12 @@ class TimeKDForecaster:
 
         ``engine="compiled"`` routes through the cached
         :meth:`compile` engine — bitwise identical to the module
-        forward, several times faster per window.
+        forward, several times faster per window.  ``precision``
+        selects the compiled engine's numeric mode and requires the
+        compiled engine for the reduced modes.
         """
-        from ..infer import resolve_engine
-
         self._check_fitted()
+        engine, precision = _resolve_engine_precision(engine, precision)
         history = np.asarray(history, dtype=np.float32)
         squeeze = history.ndim == 2
         if raw_values:
@@ -137,8 +156,8 @@ class TimeKDForecaster:
                     "raw_values=True needs a fitted scaler; this "
                     "forecaster has none (bundle saved without one)")
             history = self._scaler.transform(history).astype(np.float32)
-        if resolve_engine(engine) == "compiled":
-            prediction = self.compile().predict(history)
+        if engine == "compiled":
+            prediction = self.compile(precision=precision).predict(history)
         else:
             prediction = self._student.predict(history)
         if raw_values:
@@ -146,18 +165,18 @@ class TimeKDForecaster:
         return prediction[0] if squeeze else prediction
 
     def evaluate(self, dataset: WindowDataset, batch_size: int = 32,
-                 engine: str = "module") -> dict:
+                 engine: str = "module", precision: str = "float32") -> dict:
         """Student MSE/MAE over a window dataset (test protocol).
 
         Works for fitted and artifact-restored forecasters alike — only
         the student runs.  ``engine="compiled"`` evaluates through the
-        cached compiled engine (identical metrics, faster).
+        cached compiled engine (identical metrics, faster);
+        ``precision`` selects its numeric mode.
         """
-        from ..infer import resolve_engine
-
         self._check_fitted()
-        if resolve_engine(engine) == "compiled":
-            engine = self.compile()
+        engine, precision = _resolve_engine_precision(engine, precision)
+        if engine == "compiled":
+            engine = self.compile(precision=precision)
         return evaluate_student(self._student, dataset,
                                 batch_size=batch_size, engine=engine)
 

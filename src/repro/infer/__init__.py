@@ -4,18 +4,27 @@ The paper's efficiency claim (Section IV-E) is that *only the
 lightweight student* runs at inference.  This package takes that to its
 conclusion: :class:`CompiledStudent` exports a fitted student into a
 flat, pure-numpy forward — no autograd tensors, no graph bookkeeping,
-preallocated per-batch-shape scratch, and distillation-only outputs
-(the last-layer attention average) skipped unless requested — while
-staying **bitwise identical** to the module forward.
+one shape-polymorphic scratch plan serving every batch size up to a
+high-water capacity, and distillation-only outputs (the last-layer
+attention average) skipped unless requested — while staying **bitwise
+identical** to the module forward in its default ``float32`` mode.
 
 Every inference consumer accepts an ``engine`` selector from
 :data:`ENGINES` (``"module"`` | ``"compiled"``):
 ``TimeKDForecaster.predict``/``evaluate``, ``evaluate_student``,
 ``ForecastService`` (and therefore ``StreamingForecaster``), and the
 ``predict``/``serve``/``stream``/``evaluate`` CLI subcommands via
-``--engine``.
+``--engine``.  The compiled engine additionally accepts a ``precision``
+mode from :data:`PRECISIONS` (``"float32"`` | ``"mixed"`` | ``"int8"``),
+with the reduced-precision modes gated behind a compile-time
+:class:`ErrorBudget` — exceeding the declared tolerance raises
+:class:`PrecisionError` instead of serving degraded forecasts.
 """
 
-from .engine import ENGINES, CompiledStudent, compile_student, resolve_engine
+from .engine import (ENGINES, PRECISIONS, CompiledStudent, ErrorBudget,
+                     PrecisionError, compile_student, resolve_engine,
+                     resolve_precision)
 
-__all__ = ["ENGINES", "CompiledStudent", "compile_student", "resolve_engine"]
+__all__ = ["ENGINES", "PRECISIONS", "CompiledStudent", "ErrorBudget",
+           "PrecisionError", "compile_student", "resolve_engine",
+           "resolve_precision"]

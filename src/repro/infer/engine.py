@@ -3,41 +3,82 @@
 :class:`CompiledStudent` exports a fitted
 :class:`~repro.core.student.StudentModel` into a flat, pure-numpy
 forward: no :class:`~repro.nn.tensor.Tensor` objects, no graph
-bookkeeping (not even the ``no_grad`` variety), per-batch-shape scratch
-buffers reused across calls, and in-place ufuncs throughout.  The
-last-layer attention head-average — a distillation-only output — is
-skipped entirely unless requested.
+bookkeeping (not even the ``no_grad`` variety), preallocated scratch
+reused across calls, and in-place ufuncs throughout.  The last-layer
+attention head-average — a distillation-only output — is skipped
+entirely unless requested.
 
-The engine's contract is **bitwise parity** with the module forward:
-every numpy operation below mirrors the exact op sequence, operand
-dtypes and memory layouts of the ``Module`` path (``RevIN`` →
+Second-generation design: the engine is **shape-polymorphic**.  Scratch
+is allocated once at a high-water-mark batch capacity and every batch
+size ``B <= capacity`` binds *views* of the first ``B`` rows — a sliced
+C-contiguous buffer has exactly the strides of a dedicated ``(B, ...)``
+allocation, so the same ufunc/GEMM kernels run on the same memory
+layouts.  A new coalesced batch size on the serve path therefore never
+triggers a tape rebuild or a probe: it costs one cheap view binding
+(a few dozen slices plus pre-bound partials), cached in a small LRU.
+Only a batch size *above* capacity recompiles, and a serving layer that
+passes its ``max_batch`` up front never does even that.
+
+The engine's default contract is **bitwise parity** with the module
+forward: every numpy operation below mirrors the exact op sequence,
+operand dtypes and memory layouts of the ``Module`` path (``RevIN`` →
 inverted embedding → Pre-LN encoder → head → de-normalization), so
 ``CompiledStudent.predict`` and ``StudentModel.predict`` return
 identical bytes for identical inputs.  That is what lets the serve and
 stream layers swap engines freely: the replay/parity harnesses keep
-holding.
+holding.  Fused tape variants (fused QKV, collapsed 2-D GEMMs) are
+adopted only when a compile-time probe proves them bitwise-equal at the
+polymorphic shape (both at full capacity and at batch 1).
+
+Opt-in reduced precision relaxes that contract *explicitly*, never
+silently: ``precision="mixed"`` accumulates the reductions (RevIN and
+LayerNorm statistics, softmax sums) in float64, and ``precision="int8"``
+serves the GEMM-dominant projections from per-channel int8-quantized
+weights.  Both are gated behind an :class:`ErrorBudget` asserted at
+compile time — each quantized projection and the final prediction are
+checked against the exact float32 tape on a probe input, and compilation
+fails with :class:`PrecisionError` when the declared tolerance is
+exceeded.
 
 Weights are *donated* (see :mod:`repro.nn.buffers`): the engine shares
 the module's backing arrays by default, so compiling is cheap.  Derived
 constants (the RevIN denominator, the probe-verified fused QKV
-projection) are snapshotted at compile time — rebuild the engine after
-mutating weights in place (``TimeKDForecaster.compile(force=True)``).
+projection, int8 codebooks) are snapshotted at compile time — rebuild
+the engine after mutating weights in place
+(``TimeKDForecaster.compile(force=True)``).
 """
 
 from __future__ import annotations
 
 import math
 import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
 from functools import partial
 
 import numpy as np
 
-from ..nn.buffers import ScratchPool, donate
+from ..nn.buffers import ScratchPool, donate, quantize_per_channel
 
-__all__ = ["ENGINES", "CompiledStudent", "compile_student", "resolve_engine"]
+__all__ = ["ENGINES", "PRECISIONS", "CompiledStudent", "ErrorBudget",
+           "PrecisionError", "compile_student", "resolve_engine",
+           "resolve_precision"]
 
 #: Inference engines understood by the serving stack and the CLI.
 ENGINES = ("module", "compiled")
+
+#: Numeric modes of the compiled engine.  ``float32`` is bitwise equal
+#: to the module path; ``mixed`` and ``int8`` are tolerance-gated.
+PRECISIONS = ("float32", "mixed", "int8")
+
+#: Smallest batch capacity a lazy first call allocates (keeps tiny
+#: direct-use engines from recompiling on every slightly-larger batch).
+_MIN_CAPACITY = 8
+
+#: Bindings kept per engine before LRU eviction (tapes only — scratch
+#: is shared capacity memory, so an eviction frees Python lists, and the
+#: cache cannot grow one buffer per batch shape like the v1 engine did).
+_DEFAULT_PLAN_CACHE = 32
 
 #: Float32 zero, pre-wrapped so the ReLU mask compare skips per-call
 #: scalar conversion (same compare as ``Tensor.relu``'s ``data > 0``).
@@ -52,9 +93,48 @@ def resolve_engine(engine: str) -> str:
     return engine
 
 
-def compile_student(student, copy_weights: bool = False) -> "CompiledStudent":
+def resolve_precision(precision: str) -> str:
+    """Validate a compiled-engine precision mode; returns it unchanged."""
+    if precision not in PRECISIONS:
+        raise ValueError(
+            f"unknown engine precision {precision!r}; "
+            f"choose from {PRECISIONS}")
+    return precision
+
+
+class PrecisionError(ValueError):
+    """A reduced-precision compile exceeded its declared error budget."""
+
+
+@dataclass(frozen=True)
+class ErrorBudget:
+    """Per-module error contract for reduced-precision compilation.
+
+    ``module_rel`` bounds the relative L-inf error of every quantized
+    projection output against the float32 GEMM *on the same inputs*
+    (``overrides`` tightens or loosens individual modules by name, e.g.
+    ``{"head": 0.001}``).  ``max_abs``/``max_rel`` bound the final
+    prediction against the exact float32 tape in scale-aware L-inf:
+    ``max|y - y_ref| <= max_abs + max_rel * max|y_ref|`` (the relative
+    term tracks the forecast's own magnitude, the absolute term is the
+    floor for near-zero outputs).  All checks run on a compile-time
+    probe; a violation raises :class:`PrecisionError` instead of
+    silently serving degraded forecasts.
+    """
+
+    max_abs: float = 1e-3
+    max_rel: float = 0.02
+    module_rel: float = 0.02
+    overrides: dict = field(default_factory=dict)
+
+    def budget_for(self, module: str) -> float:
+        return self.overrides.get(module, self.module_rel)
+
+
+def compile_student(student, copy_weights: bool = False,
+                    **kwargs) -> "CompiledStudent":
     """Convenience wrapper around :class:`CompiledStudent`."""
-    return CompiledStudent(student, copy_weights=copy_weights)
+    return CompiledStudent(student, copy_weights=copy_weights, **kwargs)
 
 
 def _const(value) -> np.ndarray:
@@ -65,6 +145,11 @@ def _const(value) -> np.ndarray:
     op).  Same dtype, same kernel, same bits as the scalar it replaces.
     """
     return np.asarray(value, dtype=np.float32)
+
+
+def _ceil_pow2(n: int) -> int:
+    """Smallest power of two >= ``n`` (geometric capacity growth)."""
+    return 1 << max(int(n) - 1, 0).bit_length()
 
 
 class _LayerWeights:
@@ -99,8 +184,22 @@ class _LayerWeights:
         self.activation = layer.ffn.activation
 
 
+def _audit_gemm(errors: dict, name: str, src: np.ndarray,
+                reference_weight: np.ndarray, out: np.ndarray) -> None:
+    """Record one quantized projection's relative L-inf probe error.
+
+    Interleaved into the audit tape right after the quantized GEMM, so
+    ``src`` holds the *actual* activations flowing into the module at
+    that point and ``out`` the int8-served result.  Probe-time only —
+    the serving tape never carries these ops.
+    """
+    reference = src @ reference_weight
+    scale = float(np.abs(reference).max()) or 1.0
+    errors[name] = float(np.abs(out - reference).max()) / scale
+
+
 class CompiledStudent:
-    """Flat numpy forward of a fitted student, bitwise-equal to the module.
+    """Flat numpy forward of a fitted student, shape-polymorphic.
 
     Parameters
     ----------
@@ -112,15 +211,34 @@ class CompiledStudent:
         Snapshot the weights instead of sharing the module's buffers.
         Leave off for serving, where weights are fixed after load (zero
         copies).  Either way, derived constants (fused QKV, the RevIN
-        denominator) are compile-time snapshots: recompile after any
-        weight update.
+        denominator, int8 codebooks) are compile-time snapshots:
+        recompile after any weight update.
+    precision:
+        ``"float32"`` (bitwise-equal to the module path, the default),
+        ``"mixed"`` (float64 accumulation for the statistical
+        reductions), or ``"int8"`` (per-channel weight-quantized
+        projections).  Non-float32 modes are gated by ``error_budget``
+        at compile time.
+    error_budget:
+        :class:`ErrorBudget` enforced when ``precision != "float32"``.
+    max_batch:
+        Eagerly compile for this batch capacity (the serving layer
+        passes its coalescing bound here, moving the one compile stall
+        to load time).  Lazy by default: the first call compiles at
+        ``max(next_pow2(B), 8)`` and capacity grows geometrically.
+    plan_cache_size:
+        Per-batch-size view bindings kept before LRU eviction.
 
     One engine instance is internally locked: concurrent ``predict``
     calls serialize on the shared scratch buffers.  Returned arrays are
     fresh copies — they never alias the scratch pool.
     """
 
-    def __init__(self, student, copy_weights: bool = False):
+    def __init__(self, student, copy_weights: bool = False,
+                 precision: str = "float32",
+                 error_budget: ErrorBudget | None = None,
+                 max_batch: int | None = None,
+                 plan_cache_size: int = _DEFAULT_PLAN_CACHE):
         config = student.config
         self.config = config
         self.history_length = config.history_length
@@ -130,6 +248,11 @@ class CompiledStudent:
         self.head_dim = config.d_model // config.num_heads
         self.d_model = config.d_model
         self.ffn_dim = student.encoder.layers[0].ffn.fc1.out_features
+        self.precision = resolve_precision(precision)
+        self.error_budget = error_budget or ErrorBudget()
+        if plan_cache_size < 1:
+            raise ValueError("plan_cache_size must be >= 1")
+        self.plan_cache_size = int(plan_cache_size)
 
         w = lambda p: donate(p.data, copy=copy_weights)  # noqa: E731
         revin = student.revin
@@ -162,12 +285,35 @@ class CompiledStudent:
         self._n_model = _const(self.d_model)
         self._window_shape = (self.history_length, self.num_variables)
 
+        #: int8 codebooks (module name -> (codes, per-channel scales))
+        #: and the float32 reconstructions the GEMM tape serves from.
+        self._qweights: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        self._deq: dict[str, np.ndarray] = {}
+        if self.precision == "int8":
+            self._quantize_projections()
+
         self._pool = ScratchPool()
-        self._plans: dict[int, _BatchPlan] = {}
+        self._bindings: OrderedDict[int, _Binding] = OrderedDict()
+        self._capacity = 0
+        self._variant = (False, False)
         self._lock = threading.Lock()
         #: Forward-call / window counters (monitoring + benchmarks).
         self.calls = 0
         self.windows = 0
+        #: Full polymorphic compiles (scratch allocation + probe).  A
+        #: warmed engine serves any batch size <= capacity at zero.
+        self.rebuilds = 0
+        #: Per-batch-size binding cache counters (LRU of cheap tapes).
+        self.plan_hits = 0
+        self.plan_misses = 0
+        self.plan_evictions = 0
+        #: Probe-time error report of the last reduced-precision
+        #: compile (empty in float32 mode).
+        self.probe_report: dict = {}
+        if max_batch is not None:
+            if max_batch < 1:
+                raise ValueError("max_batch must be >= 1")
+            self._recompile(int(max_batch))
 
     # ------------------------------------------------------------------
     # public API
@@ -192,9 +338,11 @@ class CompiledStudent:
         with self._lock:
             self.calls += 1
             self.windows += x.shape[0]
-            p = self._plan(x.shape[0])
+            binding = self._plan(x.shape[0], need_attention)
+            p = binding.views
             np.copyto(p.x, x)
-            for op in (p.tape_attention if need_attention else p.tape):
+            for op in (binding.tape_attention if need_attention
+                       else binding.tape):
                 op()
             # Scratch buffers are recycled next call — hand out copies.
             return (p.prediction.copy(),
@@ -211,30 +359,93 @@ class CompiledStudent:
         return x
 
     @property
+    def capacity(self) -> int:
+        """High-water batch capacity the shared scratch is sized for."""
+        return self._capacity
+
+    @property
     def scratch_nbytes(self) -> int:
-        """Bytes held by the per-batch-shape scratch buffers."""
+        """Bytes held by the shared capacity scratch buffers."""
         return self._pool.nbytes
+
+    @property
+    def quantized_nbytes(self) -> int:
+        """Bytes of the int8 codebooks (0 outside ``int8`` mode)."""
+        return sum(q.nbytes + s.nbytes for q, s in self._qweights.values())
+
+    @property
+    def projection_nbytes(self) -> int:
+        """Float32 bytes of the projection weights int8 mode replaces."""
+        weights = [self._w_emb, self._w_head]
+        for layer in self._layers:
+            weights += [layer.wq, layer.wk, layer.wv, layer.wo,
+                        layer.w1, layer.w2]
+        return sum(w.nbytes for w in weights)
+
+    def plan_stats(self) -> dict:
+        """Plan-cache and compile counters (thread-safe snapshot)."""
+        with self._lock:
+            return {
+                "capacity": self._capacity,
+                "bindings": len(self._bindings),
+                "hits": self.plan_hits,
+                "misses": self.plan_misses,
+                "evictions": self.plan_evictions,
+                "rebuilds": self.rebuilds,
+            }
 
     def release_scratch(self) -> None:
         """Free all scratch buffers (they regrow on the next call)."""
         with self._lock:
-            self._plans.clear()
+            self._bindings.clear()
             self._pool.clear()
+            self._capacity = 0
 
     # ------------------------------------------------------------------
-    # the flat forward
+    # shape-polymorphic planning
     # ------------------------------------------------------------------
-    def _plan(self, B: int) -> "_BatchPlan":
-        plan = self._plans.get(B)
-        if plan is None:
-            plan = _BatchPlan(self, B, self._pool)
-            plan.tape = self._build_tape(plan, need_attention=False)
-            plan.tape_attention = self._build_tape(plan, need_attention=True)
-            self._optimize_tapes(plan)
-            self._plans[B] = plan
-        return plan
+    def _plan(self, B: int, need_attention: bool) -> "_Binding":
+        binding = self._bindings.get(B)
+        if binding is None:
+            if B > self._capacity:
+                # Geometric growth; a serving layer that passed its
+                # max_batch up front never reaches this branch.
+                self._recompile(max(_ceil_pow2(B), _MIN_CAPACITY))
+            self.plan_misses += 1
+            views = _Views(self, B)
+            binding = _Binding(
+                views, self._build_tape(views, False, *self._variant))
+            self._bindings[B] = binding
+            while len(self._bindings) > self.plan_cache_size:
+                self._bindings.popitem(last=False)
+                self.plan_evictions += 1
+        else:
+            self.plan_hits += 1
+            self._bindings.move_to_end(B)
+        if need_attention and binding.tape_attention is None:
+            binding.tape_attention = self._build_tape(
+                binding.views, True, *self._variant)
+        return binding
 
-    def _optimize_tapes(self, plan: "_BatchPlan") -> None:
+    def _recompile(self, capacity: int) -> None:
+        """(Re)build the polymorphic plan: scratch, variant, budget.
+
+        The one expensive step — capacity allocation plus the
+        probe-verify pass — after which every batch size up to
+        ``capacity`` binds views without rebuilding or probing.
+        """
+        self._pool.clear()
+        self._bindings.clear()
+        self._capacity = int(capacity)
+        self.rebuilds += 1
+        probe = np.random.default_rng(0).standard_normal(
+            (self._capacity, self.history_length,
+             self.num_variables)).astype(np.float32)
+        self._variant = self._select_variant(probe)
+        if self.precision != "float32":
+            self._enforce_budget(probe)
+
+    def _select_variant(self, probe: np.ndarray) -> tuple[bool, bool]:
         """Adopt the fastest tape variant a probe proves bitwise-equal.
 
         Two verified transforms: *fused QKV* (one GEMM against the
@@ -245,41 +456,143 @@ class CompiledStudent:
         selection depends on shapes and strides — and those selections
         are value-independent, so running each candidate once on a
         random probe input and comparing bytes against the reference
-        tape is a sound equivalence check.  On the slightest mismatch
-        the reference stays.
+        tape is a sound equivalence check.  The polymorphic plan serves
+        every batch size from sliced views of one capacity buffer, so
+        the probe brackets the range: a variant is adopted only when it
+        matches bitwise both at full capacity and at batch 1.  On the
+        slightest mismatch the reference stays.
         """
-        probe = np.random.default_rng(0).standard_normal(
-            plan.x.shape).astype(np.float32)
-        np.copyto(plan.x, probe)
-        for op in plan.tape_attention:
-            op()
-        reference = plan.prediction.copy()
-        reference_attention = plan.attention.copy()
-        for fused, collapsed in ((True, True), (True, False), (False, True)):
-            candidate = self._build_tape(plan, True, fused_qkv=fused,
-                                         collapse_gemm=collapsed)
-            np.copyto(plan.x, probe)
-            for op in candidate:
+        sizes = (self._capacity,) if self._capacity == 1 \
+            else (self._capacity, 1)
+        references = {}
+        for B in sizes:
+            views = _Views(self, B)
+            tape = self._build_tape(views, True)
+            np.copyto(views.x, probe[:B])
+            for op in tape:
                 op()
-            if (plan.prediction.tobytes() == reference.tobytes()
-                    and plan.attention.tobytes()
-                    == reference_attention.tobytes()):
-                plan.tape_attention = candidate
-                plan.tape = self._build_tape(plan, False, fused_qkv=fused,
-                                             collapse_gemm=collapsed)
-                return
+            references[B] = (views.prediction.tobytes(),
+                             views.attention.tobytes())
+        for fused, collapsed in ((True, True), (True, False), (False, True)):
+            for B in sizes:
+                views = _Views(self, B)
+                candidate = self._build_tape(views, True, fused, collapsed)
+                np.copyto(views.x, probe[:B])
+                for op in candidate:
+                    op()
+                if (views.prediction.tobytes(),
+                        views.attention.tobytes()) != references[B]:
+                    break
+            else:
+                return (fused, collapsed)
+        return (False, False)
 
-    def _build_tape(self, p: "_BatchPlan", need_attention: bool,
+    def _enforce_budget(self, probe: np.ndarray) -> None:
+        """Assert the reduced-precision tape honors its error budget.
+
+        Runs the exact float32 module-mirror tape and the adopted
+        precision tape (with per-module audit ops interleaved) on the
+        probe; rejects the compile with :class:`PrecisionError` when any
+        quantized projection or the final prediction drifts past the
+        declared tolerance.
+        """
+        views = _Views(self, self._capacity)
+        exact = self._build_tape(views, False, precision="float32")
+        np.copyto(views.x, probe)
+        for op in exact:
+            op()
+        reference = views.prediction.astype(np.float64)
+
+        module_errors: dict[str, float] = {}
+        audited = self._build_tape(views, False, *self._variant,
+                                   audit=module_errors)
+        np.copyto(views.x, probe)
+        for op in audited:
+            op()
+        budget = self.error_budget
+        over = {name: error for name, error in module_errors.items()
+                if error > budget.budget_for(name)}
+        if over:
+            worst = max(over, key=over.get)
+            raise PrecisionError(
+                f"{self.precision} compile rejected: quantized module(s) "
+                f"exceed their relative error budget — worst {worst!r} at "
+                f"{over[worst]:.3e} (budget "
+                f"{budget.budget_for(worst):.3e}); offending modules: "
+                f"{sorted(over)}")
+        error = float(
+            np.abs(views.prediction.astype(np.float64) - reference).max())
+        scale = float(np.abs(reference).max())
+        allowed = budget.max_abs + budget.max_rel * scale
+        if error > allowed:
+            raise PrecisionError(
+                f"{self.precision} compile rejected: probe prediction "
+                f"error {error:.3e} exceeds the budget {allowed:.3e} "
+                f"(max_abs={budget.max_abs:.3e} + "
+                f"max_rel={budget.max_rel:.3e} * scale {scale:.3e})")
+        self.probe_report = {
+            "precision": self.precision,
+            "prediction_max_abs_error": error,
+            "prediction_rel_error": error / scale if scale else 0.0,
+            "modules": dict(module_errors),
+        }
+
+    def _quantize_projections(self) -> None:
+        """Per-channel int8 codebooks for the GEMM-dominant projections.
+
+        RevIN/LayerNorm affine parameters and all biases stay float32 —
+        they are O(D) and numerically load-bearing; the O(D^2)
+        projection matrices are where the weight bytes live.
+        """
+        table = {"embedding": self._w_emb, "head": self._w_head}
+        for index, layer in enumerate(self._layers):
+            table[f"layer{index}.query"] = layer.wq
+            table[f"layer{index}.key"] = layer.wk
+            table[f"layer{index}.value"] = layer.wv
+            table[f"layer{index}.out"] = layer.wo
+            table[f"layer{index}.ffn1"] = layer.w1
+            table[f"layer{index}.ffn2"] = layer.w2
+        for name, weight in table.items():
+            codes, scales, dequantized = quantize_per_channel(weight)
+            self._qweights[name] = (codes, scales)
+            self._deq[name] = dequantized
+        # The fused-QKV weight is rebuilt from the per-projection
+        # reconstructions, so fused and unfused tapes stay bitwise
+        # interchangeable under the probe.
+        for index in range(len(self._layers)):
+            self._deq[f"layer{index}.qkv"] = np.concatenate(
+                [self._deq[f"layer{index}.{part}"]
+                 for part in ("query", "key", "value")], axis=1)
+
+    # ------------------------------------------------------------------
+    # the flat forward
+    # ------------------------------------------------------------------
+    def _build_tape(self, p: "_Views", need_attention: bool,
                     fused_qkv: bool = False,
-                    collapse_gemm: bool = False) -> list:
+                    collapse_gemm: bool = False,
+                    precision: str | None = None,
+                    audit: dict | None = None) -> list:
         """Record the whole forward as a flat list of pre-bound ops.
 
-        Every argument — weights, scratch buffers, views, scalar
-        constants — is fixed once the batch shape is known, so the hot
-        path degenerates to replaying ``functools.partial`` objects:
-        zero Python arithmetic, zero allocation, just ~100 ufunc/GEMM
-        calls into preallocated memory.
+        Every argument — weights, scratch views, scalar constants — is
+        fixed once the batch binding is known, so the hot path
+        degenerates to replaying ``functools.partial`` objects: zero
+        Python arithmetic, zero allocation, just ~100 ufunc/GEMM calls
+        into preallocated memory.  ``precision`` overrides the engine
+        mode (the budget check builds an exact float32 reference tape
+        this way); ``audit`` interleaves probe-only per-module error
+        checks after each quantized GEMM.
         """
+        precision = self.precision if precision is None else precision
+        mixed = precision == "mixed"
+        quantized = self._deq if precision == "int8" else {}
+        # Statistical reductions accumulate in float64 under ``mixed``;
+        # everything else (GEMMs included) stays float32.
+        acc_dtype = np.float64 if mixed else None
+        mean_buf = p.mean64 if mixed else p.mean
+        std_buf = p.std64 if mixed else p.std
+        red = p.red64 if mixed else p.red
+        softmax_sum = p.ssum64 if mixed else p.score_red
         ops: list = []
 
         # ``out`` rides positionally everywhere a ufunc accepts it (and
@@ -290,26 +603,35 @@ class CompiledStudent:
         def emit(fn, *args):
             ops.append(partial(fn, *args))
 
-        def emit_reduce(ufunc, src, axis, out):
+        def emit_reduce(ufunc, src, axis, out, dtype=None):
             # ufunc.reduce(array, axis, dtype, out, keepdims)
-            emit(ufunc.reduce, src, axis, None, out, True)
+            emit(ufunc.reduce, src, axis, dtype, out, True)
 
-        def emit_gemm(src, w, out):
+        def emit_gemm(src, weight, out, name=None):
             # (B, N, D) @ (D, K) batched matmul, or its (B*N, D) 2-D
             # collapse (same dot products, direct cblas path).  Only
             # buffers with a registered contiguous 2-D alias collapse;
-            # transpose views (the embedding input) stay 3-D.
+            # transpose views (the embedding input) stay 3-D.  Under
+            # int8 the named projections serve from their per-channel
+            # dequantized snapshot instead of the float32 original.
+            served = quantized.get(name, weight)
             src2, out2 = p.flat2d.get(id(src)), p.flat2d.get(id(out))
             if collapse_gemm and src2 is not None and out2 is not None:
-                src, out = src2, out2
-            emit(np.matmul, src, w, out)
+                emit(np.matmul, src2, served, out2)
+            else:
+                emit(np.matmul, src, served, out)
+            if audit is not None and name in quantized:
+                # Probe-only: compare against the float32 GEMM on the
+                # same live activations (reads buffers at replay time).
+                ops.append(partial(_audit_gemm, audit, name, src,
+                                   weight, out))
 
         def emit_mean(src, axis, out, count):
             # np.add.reduce + divide-by-count is exactly what np.mean
             # runs internally — same bits, none of the Python wrapper
             # overhead.  np.var == this mean, a centered square, and
             # the same reduce/divide again.
-            emit_reduce(np.add, src, axis, out)
+            emit_reduce(np.add, src, axis, out, acc_dtype)
             emit(np.true_divide, out, count, out)
 
         def emit_layer_norm(src, gamma, beta, eps):
@@ -318,31 +640,31 @@ class CompiledStudent:
             # (np.reciprocal is correctly-rounded division, bitwise
             # equal to the module's ``1.0 / sqrt`` — both binary32
             # quotients of the same operands.)
-            emit_mean(src, -1, p.red, self._n_model)
-            emit(np.subtract, src, p.red, p.normed)
+            emit_mean(src, -1, red, self._n_model)
+            emit(np.subtract, src, red, p.normed)
             emit(np.multiply, p.normed, p.normed, p.sq_nd)
-            emit_mean(p.sq_nd, -1, p.red, self._n_model)
-            emit(np.add, p.red, eps, p.red)
-            emit(np.sqrt, p.red, p.red)
-            emit(np.reciprocal, p.red, p.red)
-            emit(np.multiply, p.normed, p.red, p.normed)
+            emit_mean(p.sq_nd, -1, red, self._n_model)
+            emit(np.add, red, eps, red)
+            emit(np.sqrt, red, red)
+            emit(np.reciprocal, red, red)
+            emit(np.multiply, p.normed, red, p.normed)
             emit(np.multiply, p.normed, gamma, p.normed)
             emit(np.add, p.normed, beta, p.normed)
 
         # RevIN normalize (statistics over time, per instance/variable).
-        emit_mean(p.x, 1, p.mean, self._n_time)
-        emit(np.subtract, p.x, p.mean, p.norm)
+        emit_mean(p.x, 1, mean_buf, self._n_time)
+        emit(np.subtract, p.x, mean_buf, p.norm)
         emit(np.multiply, p.norm, p.norm, p.sq_hn)
-        emit_mean(p.sq_hn, 1, p.std, self._n_time)
-        emit(np.add, p.std, self._revin_eps, p.std)
-        emit(np.sqrt, p.std, p.std)
-        emit(np.divide, p.norm, p.std, p.norm)
+        emit_mean(p.sq_hn, 1, std_buf, self._n_time)
+        emit(np.add, std_buf, self._revin_eps, std_buf)
+        emit(np.sqrt, std_buf, std_buf)
+        emit(np.divide, p.norm, std_buf, p.norm)
         if self._revin_affine:
             emit(np.multiply, p.norm, self._revin_g, p.norm)
             emit(np.add, p.norm, self._revin_b, p.norm)
 
         # Inverted embedding: each variable's whole history is one token.
-        emit_gemm(p.norm_t, self._w_emb, p.tokens)
+        emit_gemm(p.norm_t, self._w_emb, p.tokens, "embedding")
         emit(np.add, p.tokens, self._b_emb, p.tokens)
 
         # Pre-LN encoder stack.
@@ -351,15 +673,16 @@ class CompiledStudent:
             emit_layer_norm(p.tokens, layer.ln1_g, layer.ln1_b,
                             layer.ln1_eps)
             if fused_qkv:
-                emit_gemm(p.normed, layer.wqkv, p.qkv)
+                emit_gemm(p.normed, layer.wqkv, p.qkv,
+                          f"layer{index}.qkv")
                 emit(np.add, p.qkv, layer.bqkv, p.qkv)
                 qh, kh_t, vh = p.qh_f, p.kh_tf, p.vh_f
             else:
-                emit_gemm(p.normed, layer.wq, p.q3)
+                emit_gemm(p.normed, layer.wq, p.q3, f"layer{index}.query")
                 emit(np.add, p.q3, layer.bq, p.q3)
-                emit_gemm(p.normed, layer.wk, p.k3)
+                emit_gemm(p.normed, layer.wk, p.k3, f"layer{index}.key")
                 emit(np.add, p.k3, layer.bk, p.k3)
-                emit_gemm(p.normed, layer.wv, p.v3)
+                emit_gemm(p.normed, layer.wv, p.v3, f"layer{index}.value")
                 emit(np.add, p.v3, layer.bv, p.v3)
                 qh, kh_t, vh = p.qh, p.kh_t, p.vh
             emit(np.matmul, qh, kh_t, p.scores)
@@ -368,22 +691,27 @@ class CompiledStudent:
             emit_reduce(np.maximum, p.scores, -1, p.score_red)
             emit(np.subtract, p.scores, p.score_red, p.scores)
             emit(np.exp, p.scores, p.scores)
-            emit_reduce(np.add, p.scores, -1, p.score_red)
-            emit(np.divide, p.scores, p.score_red, p.scores)
+            emit_reduce(np.add, p.scores, -1, softmax_sum, acc_dtype)
+            emit(np.divide, p.scores, softmax_sum, p.scores)
             if need_attention and index == last:
                 # Head average via sum * (1/heads), matching Tensor.mean.
-                emit(np.add.reduce, p.scores, 1, None, p.attention)
-                emit(np.multiply, p.attention, self._head_mean,
-                     p.attention)
+                if mixed:
+                    emit(np.add.reduce, p.scores, 1, np.float64, p.att64)
+                    emit(np.multiply, p.att64, self._head_mean,
+                         p.attention)
+                else:
+                    emit(np.add.reduce, p.scores, 1, None, p.attention)
+                    emit(np.multiply, p.attention, self._head_mean,
+                         p.attention)
             emit(np.matmul, p.scores, vh, p.context)
             emit(np.copyto, p.merged4, p.context_t)
-            emit_gemm(p.merged, layer.wo, p.sub_out)
+            emit_gemm(p.merged, layer.wo, p.sub_out, f"layer{index}.out")
             emit(np.add, p.sub_out, layer.bo, p.sub_out)
             emit(np.add, p.tokens, p.sub_out, p.tokens)
 
             emit_layer_norm(p.tokens, layer.ln2_g, layer.ln2_b,
                             layer.ln2_eps)
-            emit_gemm(p.normed, layer.w1, p.hidden)
+            emit_gemm(p.normed, layer.w1, p.hidden, f"layer{index}.ffn1")
             emit(np.add, p.hidden, layer.b1, p.hidden)
             if layer.activation == "relu":
                 # Mirror Tensor.relu's mask-multiply (keeps -0.0 bits).
@@ -391,7 +719,7 @@ class CompiledStudent:
                 emit(np.multiply, p.hidden, p.mask, p.hidden)
             else:
                 _emit_gelu(emit, p.hidden, p.gelu_inner)
-            emit_gemm(p.hidden, layer.w2, p.sub_out)
+            emit_gemm(p.hidden, layer.w2, p.sub_out, f"layer{index}.ffn2")
             emit(np.add, p.sub_out, layer.b2, p.sub_out)
             emit(np.add, p.tokens, p.sub_out, p.tokens)
 
@@ -399,24 +727,44 @@ class CompiledStudent:
                         self._final_eps)
 
         # Projection head + RevIN de-normalization.
-        emit_gemm(p.normed, self._w_head, p.projected)
+        emit_gemm(p.normed, self._w_head, p.projected, "head")
         emit(np.add, p.projected, self._b_head, p.projected)
         if self._revin_affine:
             emit(np.subtract, p.projected_t, self._revin_b, p.prediction)
             emit(np.divide, p.prediction, self._revin_denom, p.prediction)
         else:
             emit(np.copyto, p.prediction, p.projected_t)
-        emit(np.multiply, p.prediction, p.std, p.prediction)
-        emit(np.add, p.prediction, p.mean, p.prediction)
+        emit(np.multiply, p.prediction, std_buf, p.prediction)
+        emit(np.add, p.prediction, mean_buf, p.prediction)
         return ops
 
 
-class _BatchPlan:
-    """Scratch buffers, fixed views and op tapes for one batch size.
+class _Binding:
+    """One batch size's view set plus its pre-bound op tapes.
 
-    Built once per batch shape from the engine's :class:`ScratchPool`
-    and reused on every subsequent call with that shape — the steady
-    state of a serving loop allocates nothing.
+    Cheap by construction — the views alias the engine's shared
+    capacity scratch, so a binding owns only Python objects (slices and
+    ``partial`` lists).  The attention tape is built lazily: serving
+    never asks for it.
+    """
+
+    __slots__ = ("views", "tape", "tape_attention")
+
+    def __init__(self, views: "_Views", tape: list):
+        self.views = views
+        self.tape = tape
+        self.tape_attention: list | None = None
+
+
+class _Views:
+    """Stride-adjusted scratch views for one batch size ``B``.
+
+    Every buffer is the first-``B``-rows slice of a shared
+    capacity-sized allocation: a ``[:B]`` slice of a C-contiguous array
+    has exactly the strides and contiguity of a dedicated ``(B, ...)``
+    buffer, so ufunc/GEMM kernel selection — and therefore the bits —
+    match a per-batch-shape allocation while the memory stays one
+    high-water-mark block shared by all bindings.
     """
 
     __slots__ = ("x", "mean", "std", "norm", "norm_t", "sq_hn", "tokens",
@@ -424,57 +772,73 @@ class _BatchPlan:
                  "vh", "qkv", "qh_f", "kh_tf", "vh_f", "scores",
                  "score_red", "context", "context_t", "merged", "merged4",
                  "sub_out", "hidden", "mask", "gelu_inner", "attention",
-                 "projected", "projected_t", "prediction", "flat2d", "tape",
-                 "tape_attention")
+                 "projected", "projected_t", "prediction", "flat2d",
+                 "mean64", "std64", "red64", "ssum64", "att64")
 
-    def __init__(self, engine: "CompiledStudent", B: int, pool: ScratchPool):
+    def __init__(self, engine: "CompiledStudent", B: int):
+        C = engine._capacity
+        if not 1 <= B <= C:
+            raise ValueError(f"batch {B} outside capacity {C}")
         H, N = engine.history_length, engine.num_variables
         D, M = engine.d_model, engine.horizon
         heads, hd = engine.num_heads, engine.head_dim
         F = engine.ffn_dim
-        take = lambda name, shape, dtype=np.float32: \
-            pool.take(f"{name}@{B}", shape, dtype)  # noqa: E731
-        self.x = take("x", (B, H, N))
-        self.mean = take("mean", (B, 1, N))
-        self.std = take("std", (B, 1, N))
-        self.norm = take("norm", (B, H, N))
+        pool = engine._pool
+        take = lambda name, *tail, dtype=np.float32: \
+            pool.take(name, (C, *tail), dtype)[:B]  # noqa: E731
+        self.x = take("x", H, N)
+        self.mean = take("mean", 1, N)
+        self.std = take("std", 1, N)
+        self.norm = take("norm", H, N)
         self.norm_t = self.norm.transpose(0, 2, 1)
-        self.sq_hn = take("sq_hn", (B, H, N))
-        self.tokens = take("tokens", (B, N, D))
-        self.normed = take("normed", (B, N, D))
-        self.red = take("red", (B, N, 1))
-        self.sq_nd = take("sq_nd", (B, N, D))
-        self.q3 = take("q3", (B, N, D))
-        self.k3 = take("k3", (B, N, D))
-        self.v3 = take("v3", (B, N, D))
+        self.sq_hn = take("sq_hn", H, N)
+        self.tokens = take("tokens", N, D)
+        self.normed = take("normed", N, D)
+        self.red = take("red", N, 1)
+        self.sq_nd = take("sq_nd", N, D)
+        self.q3 = take("q3", N, D)
+        self.k3 = take("k3", N, D)
+        self.v3 = take("v3", N, D)
         self.qh = self.q3.reshape(B, N, heads, hd).transpose(0, 2, 1, 3)
         self.kh_t = (self.k3.reshape(B, N, heads, hd)
                      .transpose(0, 2, 1, 3).transpose(0, 1, 3, 2))
         self.vh = self.v3.reshape(B, N, heads, hd).transpose(0, 2, 1, 3)
         # Fused-QKV variant: one (B, N, 3D) buffer, head views striding
         # through its q/k/v thirds (adopted only if the probe passes).
-        self.qkv = take("qkv", (B, N, 3 * D))
+        self.qkv = take("qkv", N, 3 * D)
         split = lambda start: (self.qkv[..., start:start + D]  # noqa: E731
                                .reshape(B, N, heads, hd).transpose(0, 2, 1, 3))
         self.qh_f = split(0)
         self.kh_tf = split(D).transpose(0, 1, 3, 2)
         self.vh_f = split(2 * D)
-        self.scores = take("scores", (B, heads, N, N))
-        self.score_red = take("score_red", (B, heads, N, 1))
-        self.context = take("context", (B, heads, N, hd))
+        self.scores = take("scores", heads, N, N)
+        self.score_red = take("score_red", heads, N, 1)
+        self.context = take("context", heads, N, hd)
         self.context_t = self.context.transpose(0, 2, 1, 3)
-        self.merged = take("merged", (B, N, D))
+        self.merged = take("merged", N, D)
         self.merged4 = self.merged.reshape(B, N, heads, hd)
-        self.sub_out = take("sub_out", (B, N, D))
-        self.hidden = take("hidden", (B, N, F))
-        self.mask = take("mask", (B, N, F), dtype=bool)
-        self.gelu_inner = (take("gelu_inner", (B, N, F))
+        self.sub_out = take("sub_out", N, D)
+        self.hidden = take("hidden", N, F)
+        self.mask = take("mask", N, F, dtype=bool)
+        self.gelu_inner = (take("gelu_inner", N, F)
                            if any(layer.activation != "relu"
                                   for layer in engine._layers) else None)
-        self.attention = take("attention", (B, N, N))
-        self.projected = take("projected", (B, N, M))
+        self.attention = take("attention", N, N)
+        self.projected = take("projected", N, M)
         self.projected_t = self.projected.transpose(0, 2, 1)
-        self.prediction = take("prediction", (B, M, N))
+        self.prediction = take("prediction", M, N)
+        # Float64 accumulators for the ``mixed`` precision mode (the
+        # statistical reductions run through these; everything else
+        # stays float32).  Unallocated outside mixed mode.
+        if engine.precision == "mixed":
+            self.mean64 = take("mean64", 1, N, dtype=np.float64)
+            self.std64 = take("std64", 1, N, dtype=np.float64)
+            self.red64 = take("red64", N, 1, dtype=np.float64)
+            self.ssum64 = take("ssum64", heads, N, 1, dtype=np.float64)
+            self.att64 = take("att64", N, N, dtype=np.float64)
+        else:
+            self.mean64 = self.std64 = self.red64 = None
+            self.ssum64 = self.att64 = None
         # Contiguous 2-D aliases for the collapsed-GEMM tape variant:
         # (B, N, K) @ (D, K) weight matmuls become one (B*N, K) GEMM.
         # Transpose views (norm_t, context_t, projected_t) have none —
@@ -483,8 +847,6 @@ class _BatchPlan:
                        for b in (self.tokens, self.normed, self.q3, self.k3,
                                  self.v3, self.qkv, self.merged,
                                  self.sub_out, self.hidden, self.projected)}
-        self.tape: list | None = None
-        self.tape_attention: list | None = None
 
 
 _GELU_CUBIC = _const(0.044715)

@@ -8,6 +8,13 @@ batched student forward.  The student is batch-independent (RevIN is
 per-instance, every matmul runs the same per-slice GEMM), so a coalesced
 forward is *bitwise identical* to batch-1 serving — only faster, because
 B windows share one pass of Python/layer overhead.
+
+Batches for *different* models are independent, so the drain loop can
+run them concurrently: with ``serve_threads > 1`` each round pops one
+batch per resident model and dispatches them onto a small thread pool
+(numpy GEMMs release the GIL).  A model's batches still execute in
+strict FIFO order — one batch per key per round, with a barrier between
+rounds — so result ordering stays deterministic.
 """
 
 from __future__ import annotations
@@ -15,13 +22,13 @@ from __future__ import annotations
 import os
 import threading
 from collections import OrderedDict
-from concurrent.futures import Future
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, replace
 
 import numpy as np
 
 from ..core.student import StudentModel
-from ..infer import CompiledStudent, resolve_engine
+from ..infer import CompiledStudent, resolve_engine, resolve_precision
 from .artifact import (
     ArtifactError,
     StudentArtifact,
@@ -34,7 +41,15 @@ __all__ = ["ForecastService", "ServiceStats"]
 
 @dataclass
 class ServiceStats:
-    """Counters exposed for benchmarks and monitoring (O(1) space)."""
+    """Counters exposed for benchmarks and monitoring (O(1) space).
+
+    The ``plan_*`` fields aggregate the compiled engines' shape-plan
+    caches across the *resident* models (zero on the module engine):
+    ``plan_rebuilds`` counts full polymorphic compiles (scratch
+    allocation + probe), while hits/misses/evictions track the cheap
+    per-batch-size view bindings.  A healthy steady state shows
+    rebuilds frozen at one per model and hits dwarfing misses.
+    """
 
     requests: int = 0
     batches: int = 0
@@ -42,6 +57,10 @@ class ServiceStats:
     max_coalesced: int = 0
     loads: int = 0
     evictions: int = 0
+    plan_hits: int = 0
+    plan_misses: int = 0
+    plan_evictions: int = 0
+    plan_rebuilds: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -52,6 +71,10 @@ class ServiceStats:
             "loads": self.loads,
             "evictions": self.evictions,
             "mean_batch": self.served / self.batches if self.batches else 0.0,
+            "plan_hits": self.plan_hits,
+            "plan_misses": self.plan_misses,
+            "plan_evictions": self.plan_evictions,
+            "plan_rebuilds": self.plan_rebuilds,
         }
 
 
@@ -94,30 +117,52 @@ class ForecastService:
         Resident-model cap; least-recently-used bundles are evicted.
     max_batch:
         Upper bound on how many queued requests one forward coalesces.
+        Compiled engines are built with this as their batch capacity,
+        so the serve path never recompiles: every coalesced batch size
+        binds views of the one load-time plan.
     engine:
         Inference engine for the batched forwards: ``"module"`` (the
         autograd student under ``no_grad``) or ``"compiled"`` (a
         tape-free :class:`repro.infer.CompiledStudent` built per LRU
-        entry at load time).  The engines are bitwise identical —
-        switching never changes a served forecast, only its cost.
+        entry at load time).  At default precision the engines are
+        bitwise identical — switching never changes a served forecast,
+        only its cost.
+    precision:
+        Numeric mode for compiled engines (``"float32"``, ``"mixed"``,
+        ``"int8"``; see :data:`repro.infer.PRECISIONS`).  Reduced modes
+        are error-budget-gated at load time and require
+        ``engine="compiled"``.
+    serve_threads:
+        Worker threads draining the queue.  ``1`` (default) keeps the
+        single-threaded drain; ``N > 1`` runs up to N *different
+        models'* batches concurrently per round.  Requests for one
+        model are never executed concurrently or reordered.
 
     Requests enter through :meth:`submit` (returns a
     :class:`~concurrent.futures.Future`) or the blocking :meth:`predict`.
-    A single worker thread drains the queue: everything pending for one
-    model becomes one batched forward, so N concurrent clients cost one
-    pass of layer overhead instead of N.
+    A drain loop batches everything pending per model into one forward,
+    so N concurrent clients cost one pass of layer overhead instead of N.
     """
 
     def __init__(self, artifact_dir: str, max_models: int = 4,
-                 max_batch: int = 64, engine: str = "module"):
+                 max_batch: int = 64, engine: str = "module",
+                 precision: str = "float32", serve_threads: int = 1):
         if max_models < 1:
             raise ValueError("max_models must be >= 1")
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if serve_threads < 1:
+            raise ValueError("serve_threads must be >= 1")
         self.artifact_dir = artifact_dir
         self.max_models = int(max_models)
         self.max_batch = int(max_batch)
         self.engine = resolve_engine(engine)
+        self.precision = resolve_precision(precision)
+        if self.precision != "float32" and self.engine != "compiled":
+            raise ValueError(
+                f"precision={self.precision!r} requires engine='compiled' "
+                f"(the module path is float32-only)")
+        self.serve_threads = int(serve_threads)
         self.stats = ServiceStats()
 
         self._paths: dict[tuple[str, int], str] = {}
@@ -127,6 +172,10 @@ class ForecastService:
         self._pending: OrderedDict[tuple[str, int], list[_Request]] = OrderedDict()
         self._paused = False
         self._closed = False
+        self._pool = (ThreadPoolExecutor(
+            max_workers=self.serve_threads,
+            thread_name_prefix="forecast-batch")
+            if self.serve_threads > 1 else None)
         self.scan()
         self._worker = threading.Thread(
             target=self._serve_loop, name="forecast-service", daemon=True)
@@ -199,14 +248,24 @@ class ForecastService:
     def snapshot(self) -> ServiceStats:
         """Consistent copy of the counters.
 
-        The worker thread mutates :attr:`stats` under the service lock;
+        The worker threads mutate :attr:`stats` under the service lock;
         reading the live dataclass field-by-field can interleave with a
         batch completing.  ``snapshot()`` copies everything under the
-        same lock, so derived values (like ``mean_batch``) are computed
+        same lock and folds in the resident compiled engines' plan-cache
+        counters, so derived values (like ``mean_batch``) are computed
         from one coherent state.
         """
         with self._lock:
-            return replace(self.stats)
+            stats = replace(self.stats)
+            engines = [m.compiled for m in self._models.values()
+                       if m.compiled is not None]
+        for engine in engines:
+            plan = engine.plan_stats()
+            stats.plan_hits += plan["hits"]
+            stats.plan_misses += plan["misses"]
+            stats.plan_evictions += plan["evictions"]
+            stats.plan_rebuilds += plan["rebuilds"]
+        return stats
 
     def _get_model(self, key: tuple[str, int]) -> _LoadedModel:
         """Fetch (loading lazily, LRU-evicting) the model for ``key``."""
@@ -220,10 +279,18 @@ class ForecastService:
             raise KeyError(f"no artifact registered for {key!r}")
         artifact = load_student_artifact(path)
         student = artifact.build_student()
-        compiled = (CompiledStudent(student)
+        # max_batch doubles as the engine's batch capacity: the one
+        # compile stall happens here, at load time, and no coalesced
+        # batch size can ever trigger a rebuild on the request path.
+        compiled = (CompiledStudent(student, precision=self.precision,
+                                    max_batch=self.max_batch)
                     if self.engine == "compiled" else None)
         model = _LoadedModel(artifact, student, compiled)
         with self._lock:
+            existing = self._models.get(key)
+            if existing is not None:  # lost a concurrent load race
+                self._models.move_to_end(key)
+                return existing
             self._models[key] = model
             self._models.move_to_end(key)
             self.stats.loads += 1
@@ -293,21 +360,39 @@ class ForecastService:
                     self._wake.wait()
                 if not self._pending:
                     return  # closed and drained
-                key, queue = next(iter(self._pending.items()))
-                batch = queue[: self.max_batch]
-                del queue[: len(batch)]
-                if not queue:
-                    del self._pending[key]
-                self.stats.batches += 1
-                self.stats.served += len(batch)
-                self.stats.max_coalesced = max(
-                    self.stats.max_coalesced, len(batch))
-            try:
-                self._run_batch(key, batch)
-            except BaseException as error:  # noqa: BLE001 — fail futures
-                for request in batch:
-                    if not request.future.done():
-                        request.future.set_exception(error)
+                # One round: one batch each for up to serve_threads
+                # distinct models.  A key reappears only in a later
+                # round (after the barrier below), so one model's
+                # batches never run concurrently or out of order.
+                rounds = []
+                for key in list(self._pending)[: self.serve_threads]:
+                    queue = self._pending[key]
+                    batch = queue[: self.max_batch]
+                    del queue[: len(batch)]
+                    if not queue:
+                        del self._pending[key]
+                    self.stats.batches += 1
+                    self.stats.served += len(batch)
+                    self.stats.max_coalesced = max(
+                        self.stats.max_coalesced, len(batch))
+                    rounds.append((key, batch))
+            if self._pool is not None and len(rounds) > 1:
+                done = [self._pool.submit(self._run_guarded, key, batch)
+                        for key, batch in rounds]
+                for future in done:
+                    future.result()  # _run_guarded never raises
+            else:
+                for key, batch in rounds:
+                    self._run_guarded(key, batch)
+
+    def _run_guarded(self, key: tuple[str, int],
+                     batch: list[_Request]) -> None:
+        try:
+            self._run_batch(key, batch)
+        except BaseException as error:  # noqa: BLE001 — fail futures
+            for request in batch:
+                if not request.future.done():
+                    request.future.set_exception(error)
 
     def _run_batch(self, key: tuple[str, int], batch: list[_Request]) -> None:
         model = self._get_model(key)
@@ -335,6 +420,8 @@ class ForecastService:
             self._closed = True
             self._wake.notify_all()
         self._worker.join()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
 
     def __enter__(self) -> "ForecastService":
         return self

@@ -307,4 +307,6 @@ class StreamingForecaster:
         stream["alarmed"] = len(self.alarmed_keys())
         service = self.service.snapshot().as_dict()
         service["engine"] = self.service.engine
+        service["precision"] = self.service.precision
+        service["serve_threads"] = self.service.serve_threads
         return {"stream": stream, "service": service}

@@ -380,4 +380,4 @@ class TestCLIEngineFlag:
             main(["predict", "--artifact",
                   os.path.join(str(tmp_path), "m.npz"),
                   "--dataset", "ETTm1", "--engine", "jit"])
-        assert "invalid choice" in capsys.readouterr().err
+        assert "unknown inference engine 'jit'" in capsys.readouterr().err
