@@ -38,6 +38,9 @@ METRICS: list[tuple[str, str, str]] = [
     ("perf_serve", "speedup", "higher"),
     ("perf_stream", "ingest_ticks_per_s", "higher"),
     ("perf_stream", "forecast_ticks_per_s", "higher"),
+    ("perf_stream", "durability.wal_ticks_per_s", "higher"),
+    ("perf_stream", "durability.snapshot_s", "lower"),
+    ("perf_stream", "durability.restore_s", "lower"),
     ("perf_infer", "batches.1.speedup", "higher"),
     ("perf_infer", "batches.64.speedup", "higher"),
     ("perf_infer", "serve.speedup", "higher"),

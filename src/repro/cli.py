@@ -27,13 +27,18 @@ the compiled engine's numeric mode (reduced modes are gated by a
 compile-time error budget; see ``repro.infer.ErrorBudget``), and
 ``serve``/``stream`` take ``--serve-threads`` to drain batches for
 different models concurrently.
+
+``stream`` can persist its online state: ``--snapshot-dir`` keeps
+versioned snapshots plus a per-tick WAL (``--snapshot-every N``
+checkpoints periodically, graceful shutdown and completion write a
+final one), and ``--resume`` recovers from them — forecasts after a
+kill/resume are bitwise identical to an uninterrupted run.
 """
 
 from __future__ import annotations
 
 import argparse
 import contextlib
-import json
 import signal
 import sys
 import time
@@ -126,6 +131,18 @@ def _check_engine_flags(parser: argparse.ArgumentParser, args) -> None:
                 f"--verify asserts bitwise parity with offline predict, "
                 f"which only holds at --precision float32 "
                 f"(got {args.precision})")
+
+
+def _check_stream_flags(parser: argparse.ArgumentParser, args) -> None:
+    """Durability flags all hang off --snapshot-dir."""
+    if getattr(args, "snapshot_dir", None):
+        return
+    for flag, name in ((getattr(args, "snapshot_every", 0),
+                        "--snapshot-every"),
+                       (getattr(args, "resume", False), "--resume"),
+                       (getattr(args, "no_wal", False), "--no-wal")):
+        if flag:
+            parser.error(f"{name} requires --snapshot-dir")
 
 
 def _scale(args) -> ExperimentScale:
@@ -240,7 +257,7 @@ def _cmd_predict(args) -> int:
 
 
 @contextlib.contextmanager
-def _graceful_shutdown(service):
+def _graceful_shutdown(service, drain_actions: list | None = None):
     """Drain the micro-batch queue on SIGINT/SIGTERM before exiting.
 
     The signal handler only raises: the interrupted frame may be inside
@@ -251,6 +268,12 @@ def _graceful_shutdown(service):
     requests flush, and ``close()`` completes every in-flight future
     before the worker exits — no client is ever left holding a
     forever-pending future.
+
+    ``drain_actions`` is a caller-owned list of zero-arg callables run
+    *after* the drain (every future resolved) — the stream command
+    appends its snapshotter's ``checkpoint`` so a graceful shutdown
+    persists a final snapshot.  Actions registered by the body run even
+    though the list was empty on entry.
     """
     def handler(signum, frame):
         raise SystemExit(128 + signum)
@@ -266,6 +289,11 @@ def _graceful_shutdown(service):
     except BaseException:
         service.resume()
         service.close()
+        for action in (drain_actions or []):
+            try:
+                action()
+            except Exception as error:  # noqa: BLE001 — don't mask exit
+                print(f"shutdown action failed: {error}", file=sys.stderr)
         raise
     finally:
         for signum, old in previous.items():
@@ -326,11 +354,12 @@ def _cmd_stream(args) -> int:
     from .serve import ForecastService
     from .stream import StreamingForecaster, replay, verify_parity
 
+    drain_actions: list = []
     with ForecastService(args.artifacts, max_models=args.max_models,
                          max_batch=args.max_batch,
                          engine=args.engine, precision=args.precision,
                          serve_threads=args.serve_threads) as service, \
-            _graceful_shutdown(service):
+            _graceful_shutdown(service, drain_actions):
         key = service.resolve_key(args.dataset, args.horizon)
         config = service.config_for(key)
         series = load_dataset(key[0], length=args.length)
@@ -345,16 +374,61 @@ def _cmd_stream(args) -> int:
             service, dataset=key[0], horizon=key[1],
             cadence=args.cadence, policy=args.policy,
             interval=float(data.frequency_minutes), raw_values=args.raw)
+
+        if args.resume:
+            from .durable import RecoveryError, StatefulRecoverer
+
+            recoverer = StatefulRecoverer()
+            try:
+                # Torn trailing WAL record = an un-fsynced crash's
+                # signature; --resume trims it (that tick was never
+                # durable) instead of refusing to start.
+                recovered = forecaster.restore_from(
+                    args.snapshot_dir, strict_wal=False,
+                    recoverer=recoverer)
+            except RecoveryError as error:
+                print(f"recovery failed at stage "
+                      f"{recoverer.state().stage.value!r}: {error}",
+                      file=sys.stderr)
+                return 1
+            detail = recovered.detail
+            origin = detail.get("snapshot_path") or "WAL bootstrap"
+            print(f"recovered {detail['keys']} series at seq "
+                  f"{detail['final_seq']} from {origin} "
+                  f"(+{detail['replayed']} WAL tick(s) replayed)")
+
+        snapshotter = None
+        if args.snapshot_dir:
+            from .durable import StreamSnapshotter
+
+            snapshotter = StreamSnapshotter(
+                forecaster, args.snapshot_dir, every=args.snapshot_every,
+                wal=not args.no_wal)
+            drain_actions.append(snapshotter.checkpoint)
+
         reports = []
         for index in range(args.series):
+            series_key = ("replay", f"{key[0]}#{index}")
+            try:
+                first_tick = forecaster.state(series_key).count
+            except KeyError:
+                first_tick = 0
+            max_ticks = (None if args.ticks is None
+                         else max(args.ticks - first_tick, 0))
             reports.append(replay(
-                forecaster, segment, key=("replay", f"{key[0]}#{index}"),
-                max_ticks=args.ticks))
+                forecaster, segment, key=series_key,
+                max_ticks=max_ticks, first_tick=first_tick))
         report = reports[-1]
         # Snapshot before --verify: parity re-predicts each window
         # sequentially and would contaminate the coalescing counters.
         snapshot = forecaster.snapshot()
         stream, serve = snapshot["stream"], snapshot["service"]
+
+        if snapshotter is not None:
+            final_path = snapshotter.checkpoint()
+            snapshotter.close()
+            drain_actions.clear()
+            print(f"final snapshot written to {final_path}")
 
         compared = None
         if args.verify:
@@ -375,14 +449,17 @@ def _cmd_stream(args) -> int:
             print(f"parity: {compared} streamed forecast(s) bitwise "
                   f"identical to offline predict")
         if args.stats_out:
+            from .durable import atomic_write_json
+
             payload = report.as_dict()
             payload["stream"], payload["service"] = stream, serve
             payload["total_ticks"] = total_ticks
             payload["ticks_per_second"] = total_ticks / max(total_s, 1e-9)
             if compared is not None:
                 payload["parity_checked"] = compared
-            with open(args.stats_out, "w") as fh:
-                json.dump(payload, fh, indent=2)
+            # Atomic (tmp + os.replace): a crash mid-dump must not
+            # leave a truncated JSON for a dashboard to choke on.
+            atomic_write_json(args.stats_out, payload)
             print(f"stats written to {args.stats_out}")
     return 0
 
@@ -507,7 +584,27 @@ def main(argv: list[str] | None = None) -> int:
                              "models concurrently (per-model FIFO order is "
                              "preserved)")
     stream.add_argument("--stats-out", default=None, metavar="JSON",
-                        help="dump replay + service stats as JSON")
+                        help="dump replay + service stats as JSON "
+                             "(written atomically)")
+    stream.add_argument("--snapshot-dir", default=None, metavar="DIR",
+                        help="durable state directory: snapshots "
+                             "(snapshot-{seq}.npz) plus a per-tick WAL; "
+                             "graceful shutdown and normal completion "
+                             "both write a final snapshot")
+    stream.add_argument("--snapshot-every", type=int, default=0,
+                        metavar="N",
+                        help="checkpoint every N accepted ticks "
+                             "(0 = only the final/shutdown snapshot; "
+                             "requires --snapshot-dir)")
+    stream.add_argument("--resume", action="store_true",
+                        help="recover state from --snapshot-dir before "
+                             "replaying (latest snapshot + WAL replay), "
+                             "then continue each series where it left "
+                             "off")
+    stream.add_argument("--no-wal", action="store_true",
+                        help="disable the append-only tick WAL; crash "
+                             "recovery then loses ticks after the last "
+                             "snapshot")
     _add_engine(stream)
     stream.set_defaults(func=_cmd_stream)
 
@@ -520,6 +617,7 @@ def main(argv: list[str] | None = None) -> int:
 
     args = parser.parse_args(argv)
     _check_engine_flags(parser, args)
+    _check_stream_flags(parser, args)
     return args.func(args)
 
 

@@ -1,0 +1,53 @@
+"""JSON-safe encoding of stream keys for snapshots and WAL records.
+
+Stream keys are ``(tenant, series)``-style identifiers: strings, ints,
+or (possibly nested) tuples of those.  JSON has no tuple, and a naive
+``list(key)`` round-trip would silently turn ``("a", 1)`` into
+``["a", 1]`` — a *different* dict key after restore.  Keys are therefore
+encoded with an explicit type tag and decoded back to the exact
+original Python object.
+"""
+
+from __future__ import annotations
+
+__all__ = ["KeyCodecError", "encode_key", "decode_key"]
+
+
+class KeyCodecError(ValueError):
+    """A stream key cannot be represented durably (or decoded back)."""
+
+
+def encode_key(key) -> list:
+    """``key`` → a JSON-serializable tagged value."""
+    if isinstance(key, bool):  # bool is an int subclass; reject explicitly
+        raise KeyCodecError(f"unsupported stream key type {type(key).__name__}")
+    if isinstance(key, str):
+        return ["s", key]
+    if isinstance(key, int):
+        return ["i", int(key)]
+    if isinstance(key, tuple):
+        return ["t", [encode_key(part) for part in key]]
+    raise KeyCodecError(
+        f"unsupported stream key type {type(key).__name__}: durable "
+        f"streams need str/int/tuple keys, got {key!r}")
+
+
+def decode_key(payload):
+    """Inverse of :func:`encode_key` (raises on malformed payloads)."""
+    try:
+        tag, value = payload
+    except (TypeError, ValueError):
+        raise KeyCodecError(f"malformed encoded key {payload!r}") from None
+    if tag == "s":
+        if not isinstance(value, str):
+            raise KeyCodecError(f"malformed encoded key {payload!r}")
+        return value
+    if tag == "i":
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise KeyCodecError(f"malformed encoded key {payload!r}")
+        return int(value)
+    if tag == "t":
+        if not isinstance(value, list):
+            raise KeyCodecError(f"malformed encoded key {payload!r}")
+        return tuple(decode_key(part) for part in value)
+    raise KeyCodecError(f"unknown key tag in {payload!r}")

@@ -1,0 +1,267 @@
+"""Staged, fail-closed recovery of a streaming forecaster.
+
+:class:`StatefulRecoverer` walks explicit stages::
+
+    inactive → reading → verifying → importing → succeeded
+                                   ↘ failed (with failure_reason)
+
+modeled on the ZKAPAuthorizer ``StatefulRecoverer`` pattern: the stage
+and an inspectable ``failure_reason`` are first-class state an operator
+(or the ``stream --resume`` CLI) can query, not buried in a traceback.
+
+The contract is *all or nothing*.  Verification — format version,
+sha256 digest, config identity, artifact weight digest, WAL chain
+contiguity — completes **before** any live state is touched; a failure
+there leaves the forecaster exactly as it was.  Once importing begins,
+any error (including an injected crash) clears the forecaster entirely:
+a half-imported universe would silently violate the replay-parity
+guarantee, which is strictly worse than an empty one.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+from dataclasses import dataclass, field
+
+from .snapshot import (
+    SnapshotError,
+    latest_snapshot,
+    load_snapshot_arrays,
+    state_from_arrays,
+    verify_snapshot,
+)
+from .faults import crashpoint
+from .wal import TornWALError, WALError, read_wal, wal_paths
+
+__all__ = [
+    "RecoveryError",
+    "RecoveryStages",
+    "RecoveryState",
+    "StatefulRecoverer",
+]
+
+#: Config fields that define *identity*: restoring across a difference
+#: in any of these would change window contents or grid semantics.
+#: Cadence/fallback/drift settings are policy knobs and may differ.
+STRICT_CONFIG_FIELDS = (
+    "dataset", "horizon", "input_len", "horizon_len", "num_variables",
+    "interval", "policy", "max_gap", "capacity", "raw_values",
+)
+
+
+class RecoveryStages(enum.Enum):
+    INACTIVE = "inactive"
+    READING = "reading"
+    VERIFYING = "verifying"
+    IMPORTING = "importing"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+
+
+@dataclass
+class RecoveryState:
+    """Where recovery stands — stage, why it failed, what it found."""
+
+    stage: RecoveryStages = RecoveryStages.INACTIVE
+    failure_reason: str | None = None
+    detail: dict = field(default_factory=dict)
+
+
+class RecoveryError(RuntimeError):
+    """Raised by :meth:`StreamingForecaster.restore_from` on failure.
+
+    Carries the final :class:`RecoveryState` as ``state``.
+    """
+
+    def __init__(self, state: RecoveryState):
+        super().__init__(state.failure_reason or "recovery failed")
+        self.state = state
+
+
+class StatefulRecoverer:
+    """Run recovery with inspectable stages and fail-closed semantics."""
+
+    def __init__(self):
+        self._state = RecoveryState()
+        #: Every stage entered, in order (for assertions and debugging).
+        self.history: list[RecoveryStages] = [RecoveryStages.INACTIVE]
+
+    def state(self) -> RecoveryState:
+        return self._state
+
+    def _enter(self, stage: RecoveryStages) -> None:
+        self._state = RecoveryState(stage=stage, detail=self._state.detail)
+        self.history.append(stage)
+
+    def _fail(self, reason: str, **detail) -> RecoveryState:
+        merged = dict(self._state.detail)
+        merged.update(detail)
+        self._state = RecoveryState(stage=RecoveryStages.FAILED,
+                                    failure_reason=reason, detail=merged)
+        self.history.append(RecoveryStages.FAILED)
+        return self._state
+
+    def _succeed(self, **detail) -> RecoveryState:
+        merged = dict(self._state.detail)
+        merged.update(detail)
+        self._state = RecoveryState(stage=RecoveryStages.SUCCEEDED,
+                                    detail=merged)
+        self.history.append(RecoveryStages.SUCCEEDED)
+        return self._state
+
+    # ------------------------------------------------------------------
+    # the recovery pipeline
+    # ------------------------------------------------------------------
+    def recover(self, source: str, forecaster, *, replay_wal: bool = True,
+                strict_wal: bool = True) -> RecoveryState:
+        """Restore ``forecaster`` from ``source`` (snapshot or directory).
+
+        ``source`` may be a snapshot file or a snapshot directory (the
+        newest ``snapshot-{seq}.npz`` is used; with none present but a
+        seq-0 WAL chain available, recovery bootstraps from empty state
+        by replaying the log).  With ``replay_wal`` the WAL chain after
+        the snapshot is replayed tick-by-tick.  ``strict_wal=True``
+        treats a torn trailing record as fatal; ``False`` trims it —
+        the torn tick was never durable, which is exactly the crash
+        semantics of an un-fsynced append.
+
+        Never raises for recovery failures — returns the final
+        :class:`RecoveryState` (``failed`` carries ``failure_reason``).
+        """
+        # ---- reading ------------------------------------------------
+        self._enter(RecoveryStages.READING)
+        if os.path.isdir(source):
+            directory = source
+            snapshot_path = latest_snapshot(directory)
+        else:
+            directory = os.path.dirname(os.path.abspath(source))
+            snapshot_path = source
+            if not os.path.exists(snapshot_path):
+                return self._fail(
+                    f"no snapshot found at {snapshot_path!r}")
+        arrays = None
+        if snapshot_path is not None:
+            try:
+                arrays = load_snapshot_arrays(snapshot_path)
+            except SnapshotError as error:
+                return self._fail(str(error), snapshot_path=snapshot_path)
+        elif not replay_wal or not wal_paths(directory, 0):
+            return self._fail(f"no snapshot found in {directory!r}")
+
+        # ---- verifying ----------------------------------------------
+        self._enter(RecoveryStages.VERIFYING)
+        live_config = forecaster.durable_config()
+        state = None
+        snapshot_seq = 0
+        wal_config = None
+        wal_digest = None
+        if arrays is not None:
+            try:
+                config, meta = verify_snapshot(arrays, snapshot_path)
+                state = state_from_arrays(arrays, config, meta)
+            except SnapshotError as error:
+                return self._fail(str(error), snapshot_path=snapshot_path)
+            mismatch = self._config_mismatch(config, live_config)
+            if mismatch is not None:
+                return self._fail(mismatch, snapshot_path=snapshot_path)
+            reason = self._artifact_mismatch(
+                meta.get("artifact_digest"), forecaster)
+            if reason is not None:
+                return self._fail(reason, snapshot_path=snapshot_path)
+            snapshot_seq = int(state["seq"])
+
+        records: list = []
+        if replay_wal:
+            segments = wal_paths(directory, snapshot_seq)
+            for base, path in segments:
+                try:
+                    header, parsed = read_wal(path)
+                except TornWALError as torn:
+                    if strict_wal:
+                        return self._fail(
+                            f"torn WAL record: {torn}", wal_path=path)
+                    parsed = torn.records
+                    header = None if not parsed else {"base_seq": base}
+                    records.extend(parsed)
+                    break  # nothing durable can follow a torn tail
+                except WALError as error:
+                    return self._fail(
+                        f"corrupt WAL segment: {error}", wal_path=path)
+                if state is None and wal_config is None:
+                    wal_config = header.get("config") or None
+                    wal_digest = header.get("artifact_digest")
+                records.extend(parsed)
+            expected = snapshot_seq + 1
+            for record in records:
+                if record["seq"] != expected:
+                    return self._fail(
+                        f"WAL gap: expected seq {expected}, found "
+                        f"{record['seq']} — the log chain is incomplete")
+                expected += 1
+            if state is None:
+                # Bootstrapping from the WAL alone: the header carries
+                # the writing process's config + artifact digest.
+                if wal_config:
+                    mismatch = self._config_mismatch(
+                        wal_config, live_config)
+                    if mismatch is not None:
+                        return self._fail(mismatch)
+                reason = self._artifact_mismatch(wal_digest, forecaster)
+                if reason is not None:
+                    return self._fail(reason)
+
+        # ---- importing ----------------------------------------------
+        self._enter(RecoveryStages.IMPORTING)
+        try:
+            crashpoint("recover.import")
+            if state is not None:
+                forecaster.import_state(state)
+                forecaster.service.restore_stats(state["service_stats"])
+            else:
+                forecaster.clear()
+            for record in records:
+                crashpoint("recover.replay")
+                forecaster.append(record["key"], record["timestamp"],
+                                  record["values"])
+        except Exception as error:  # noqa: BLE001 — fail closed
+            forecaster.clear()
+            return self._fail(
+                f"import failed ({error}); streaming state cleared — "
+                f"a partial restore would break replay parity")
+
+        return self._succeed(
+            snapshot_path=snapshot_path, snapshot_seq=snapshot_seq,
+            replayed=len(records), final_seq=forecaster.seq,
+            keys=len(forecaster.keys()))
+
+    # ------------------------------------------------------------------
+    # verification helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _config_mismatch(stored: dict, live: dict) -> str | None:
+        for fieldname in STRICT_CONFIG_FIELDS:
+            if fieldname not in stored:
+                return (f"config mismatch: snapshot records no "
+                        f"{fieldname!r}")
+            if stored[fieldname] != live[fieldname]:
+                return (f"config mismatch: {fieldname} is "
+                        f"{stored[fieldname]!r} in the snapshot but "
+                        f"{live[fieldname]!r} in this forecaster")
+        return None
+
+    @staticmethod
+    def _artifact_mismatch(stored_digest, forecaster) -> str | None:
+        if stored_digest is None:
+            return None  # written without provenance; nothing to check
+        from ..serve.artifact import ArtifactError, read_artifact_digest
+        try:
+            live = read_artifact_digest(
+                forecaster.service.path_for(forecaster.model_key))
+        except (KeyError, ArtifactError) as error:
+            return (f"artifact digest unverifiable: {error}")
+        if live != stored_digest:
+            return ("artifact digest mismatch: the snapshot was taken "
+                    "against different student weights than this "
+                    "service is serving")
+        return None

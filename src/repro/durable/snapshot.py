@@ -1,0 +1,395 @@
+"""Versioned, digest-verified snapshots of the streaming universe.
+
+A snapshot is one ``.npz`` archive capturing everything
+:meth:`StreamingForecaster.export_state` knows — ring buffers, Welford
+statistics, CUSUM drift accumulators, cadence counters, issued-forecast
+caches, stream/service stats and the append sequence number — written
+with the same atomic-write + sha256-digest idiom as the student
+artifact bundles (:mod:`repro.serve.artifact`):
+
+    __format__        int, bumped on breaking layout changes
+    __config__        JSON of StreamingForecaster.durable_config()
+    __meta__          JSON: seq, per-key scalars, stats, provenance
+    __digest__        sha256 over every other entry (corruption check)
+    s{i}/...          per-key arrays (buffer, stats, drift windows,
+                      cached forecasts — dtypes preserved exactly)
+
+Scalars live in the JSON blocks (Python's float repr round-trips
+exactly), arrays as native npz entries, so a restore is bitwise.
+
+:class:`StreamSnapshotter` attaches to a live forecaster and adds the
+two checkpoint policies — on-demand :meth:`~StreamSnapshotter.checkpoint`
+and every-N-ticks — plus an optional append-only tick WAL
+(:mod:`repro.durable.wal`) covering the ticks after the last snapshot.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+import numpy as np
+
+from ..nn.serialization import load_arrays, save_arrays
+from .faults import crashpoint
+from .keys import decode_key, encode_key
+from .wal import TickWAL
+
+__all__ = [
+    "SNAPSHOT_FORMAT_VERSION",
+    "SnapshotError",
+    "StreamSnapshotter",
+    "latest_snapshot",
+    "load_snapshot_arrays",
+    "snapshot_paths",
+    "state_from_arrays",
+    "verify_snapshot",
+    "write_snapshot",
+]
+
+#: Bump when the archive layout changes incompatibly.
+SNAPSHOT_FORMAT_VERSION = 1
+
+
+class SnapshotError(RuntimeError):
+    """A stream snapshot is unreadable, corrupt or mismatched."""
+
+
+def _snapshot_digest(payload: dict) -> str:
+    """sha256 over every entry except ``__digest__`` (artifact idiom)."""
+    digest = hashlib.sha256()
+    for name in sorted(payload):
+        if name == "__digest__":
+            continue
+        digest.update(name.encode("utf-8"))
+        digest.update(np.ascontiguousarray(payload[name]).tobytes())
+    return digest.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# writing
+# ----------------------------------------------------------------------
+def write_snapshot(path: str, state: dict, *, artifact_digest=None,
+                   engine=None, precision=None) -> str:
+    """Serialize an exported forecaster state to ``path`` atomically.
+
+    ``state`` is :meth:`StreamingForecaster.export_state` output;
+    ``artifact_digest``/``engine``/``precision`` stamp the serving
+    context so recovery can refuse incompatible imports.  Returns the
+    written path (``.npz`` appended when missing).
+    """
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    payload: dict[str, np.ndarray] = {
+        "__format__": np.int64(SNAPSHOT_FORMAT_VERSION),
+        "__config__": np.array(
+            json.dumps(state["config"], sort_keys=True)),
+    }
+    meta_entries = []
+    for index, entry in enumerate(state["entries"]):
+        prefix = f"s{index}/"
+        series = entry["series"]
+        payload[prefix + "buffer"] = np.asarray(series["buffer"])
+        payload[prefix + "mean"] = np.asarray(series["mean"])
+        payload[prefix + "m2"] = np.asarray(series["m2"])
+        drift = entry["drift"]
+        payload[prefix + "drift_abs"] = np.asarray(drift["abs_errors"])
+        payload[prefix + "drift_sq"] = np.asarray(drift["sq_errors"])
+        # Cached forecasts keep their own entries (not stacked): the
+        # student serves float32 while the naive fallback emits float64,
+        # and a restore must preserve each dtype exactly.
+        if entry["latest"] is not None:
+            payload[prefix + "latest"] = np.asarray(entry["latest"])
+        for j, (_, forecast) in enumerate(entry["issued"]):
+            payload[prefix + f"issued{j}"] = np.asarray(forecast)
+        meta_entries.append({
+            "key": encode_key(entry["key"]),
+            "series": {
+                "input_len": int(series["input_len"]),
+                "num_variables": int(series["num_variables"]),
+                "capacity": int(series["capacity"]),
+                "count": int(series["count"]),
+            },
+            "last_timestamp": entry["last_timestamp"],
+            "gaps": int(entry["gaps"]),
+            "pending_ticks": int(entry["pending_ticks"]),
+            "alarm_counted": bool(entry["alarm_counted"]),
+            "drift": {
+                "window": int(drift["window"]),
+                "calibration": int(drift["calibration"]),
+                "threshold": float(drift["threshold"]),
+                "slack": float(drift["slack"]),
+                "count": int(drift["count"]),
+                "reference": drift["reference"],
+                "cusum": float(drift["cusum"]),
+                "alarmed": bool(drift["alarmed"]),
+            },
+            "has_latest": entry["latest"] is not None,
+            "issued_at": [int(at) for at, _ in entry["issued"]],
+        })
+    meta = {
+        "seq": int(state["seq"]),
+        "artifact_digest": artifact_digest,
+        "engine": engine,
+        "precision": precision,
+        "stream_stats": state["stream_stats"],
+        "service_stats": state["service_stats"],
+        "entries": meta_entries,
+    }
+    payload["__meta__"] = np.array(json.dumps(meta, sort_keys=True))
+    payload["__digest__"] = np.array(_snapshot_digest(payload))
+    crashpoint("snapshot.publish")
+    save_arrays(path, payload)
+    return path
+
+
+# ----------------------------------------------------------------------
+# reading + verification
+# ----------------------------------------------------------------------
+def load_snapshot_arrays(path: str) -> dict[str, np.ndarray]:
+    """Read a snapshot archive (the recoverer's *reading* stage)."""
+    import zipfile
+
+    try:
+        return load_arrays(path)
+    except (OSError, ValueError, zipfile.BadZipFile) as error:
+        raise SnapshotError(
+            f"unreadable snapshot {path!r} (corrupt or truncated): "
+            f"{error}") from error
+
+
+def verify_snapshot(arrays: dict, path: str) -> tuple[dict, dict]:
+    """Check format version, digest and JSON blocks → ``(config, meta)``.
+
+    Raises :class:`SnapshotError` with a distinct message per failure —
+    the recoverer surfaces it verbatim as ``failure_reason``.
+    """
+    for name in ("__format__", "__config__", "__meta__", "__digest__"):
+        if name not in arrays:
+            raise SnapshotError(
+                f"{path!r} is not a stream snapshot: missing entry "
+                f"{name!r}")
+    version = int(arrays["__format__"])
+    if version != SNAPSHOT_FORMAT_VERSION:
+        raise SnapshotError(
+            f"snapshot format {version} of {path!r} is not supported "
+            f"(this build reads format {SNAPSHOT_FORMAT_VERSION})")
+    if _snapshot_digest(arrays) != str(arrays["__digest__"]):
+        raise SnapshotError(
+            f"digest mismatch in {path!r}: the snapshot is corrupt or "
+            f"tampered")
+    try:
+        config = json.loads(str(arrays["__config__"]))
+        meta = json.loads(str(arrays["__meta__"]))
+    except (TypeError, ValueError) as error:
+        raise SnapshotError(
+            f"invalid config/metadata in {path!r}: {error}") from error
+    return config, meta
+
+
+def state_from_arrays(arrays: dict, config: dict, meta: dict) -> dict:
+    """Reassemble the :meth:`export_state`-shaped dict from an archive."""
+    entries = []
+    for index, entry_meta in enumerate(meta["entries"]):
+        prefix = f"s{index}/"
+        try:
+            series_meta = entry_meta["series"]
+            entry = {
+                "key": decode_key(entry_meta["key"]),
+                "series": {
+                    "input_len": int(series_meta["input_len"]),
+                    "num_variables": int(series_meta["num_variables"]),
+                    "capacity": int(series_meta["capacity"]),
+                    "count": int(series_meta["count"]),
+                    "buffer": arrays[prefix + "buffer"],
+                    "mean": arrays[prefix + "mean"],
+                    "m2": arrays[prefix + "m2"],
+                },
+                "last_timestamp": entry_meta["last_timestamp"],
+                "gaps": int(entry_meta["gaps"]),
+                "pending_ticks": int(entry_meta["pending_ticks"]),
+                "alarm_counted": bool(entry_meta["alarm_counted"]),
+                "drift": {
+                    **entry_meta["drift"],
+                    "abs_errors": arrays[prefix + "drift_abs"],
+                    "sq_errors": arrays[prefix + "drift_sq"],
+                },
+                "latest": (arrays[prefix + "latest"]
+                           if entry_meta["has_latest"] else None),
+                "issued": [(int(at), arrays[prefix + f"issued{j}"])
+                           for j, at in enumerate(entry_meta["issued_at"])],
+            }
+        except KeyError as error:
+            raise SnapshotError(
+                f"snapshot entry {index} is missing {error} — truncated "
+                f"or mismatched archive") from error
+        entries.append(entry)
+    return {
+        "seq": int(meta["seq"]),
+        "config": config,
+        "stream_stats": meta["stream_stats"],
+        "service_stats": meta["service_stats"],
+        "entries": entries,
+    }
+
+
+# ----------------------------------------------------------------------
+# directory layout
+# ----------------------------------------------------------------------
+def snapshot_paths(directory: str):
+    """Sorted ``[(seq, path)]`` of ``snapshot-{seq}.npz`` files."""
+    if not os.path.isdir(directory):
+        return []
+    found = []
+    for name in os.listdir(directory):
+        if not (name.startswith("snapshot-") and name.endswith(".npz")):
+            continue
+        stem = name[len("snapshot-"):-len(".npz")]
+        if not stem.isdigit():
+            continue
+        found.append((int(stem), os.path.join(directory, name)))
+    found.sort()
+    return found
+
+
+def latest_snapshot(directory: str) -> str | None:
+    """Path of the highest-sequence snapshot in ``directory``, if any."""
+    found = snapshot_paths(directory)
+    return found[-1][1] if found else None
+
+
+# ----------------------------------------------------------------------
+# live checkpointing
+# ----------------------------------------------------------------------
+class StreamSnapshotter:
+    """Checkpoint policy + WAL attached to a live forecaster.
+
+    Parameters
+    ----------
+    forecaster:
+        The :class:`StreamingForecaster` to persist.  The snapshotter
+        hooks its append path (under the forecaster lock), so every
+        accepted tick is observed exactly once.
+    directory:
+        Where ``snapshot-{seq}.npz`` and ``wal-{seq}.log`` files live.
+    every:
+        Checkpoint automatically every ``every`` accepted ticks
+        (``0`` = on-demand :meth:`checkpoint` only).
+    wal:
+        Keep an append-only tick log between checkpoints, so ticks
+        after the last snapshot replay during recovery.  Write-behind:
+        a tick is logged only after ingestion accepted it.
+    fsync:
+        Fsync every WAL record (crash-proof against machine, not just
+        process, death — at a per-tick latency cost).
+    keep:
+        How many recent snapshots to retain; older snapshots and WAL
+        segments no recoverable chain needs are pruned at checkpoint.
+    """
+
+    def __init__(self, forecaster, directory: str, *, every: int = 0,
+                 wal: bool = True, fsync: bool = False, keep: int = 3):
+        if every < 0:
+            raise ValueError("every must be >= 0 (0 = on-demand only)")
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        self.forecaster = forecaster
+        self.directory = directory
+        self.every = int(every)
+        self.fsync = bool(fsync)
+        self.keep = int(keep)
+        self.wal_enabled = bool(wal)
+        os.makedirs(directory, exist_ok=True)
+        from ..serve.artifact import ArtifactError, read_artifact_digest
+        try:
+            self._artifact_digest = read_artifact_digest(
+                forecaster.service.path_for(forecaster.model_key))
+        except (KeyError, ArtifactError):
+            self._artifact_digest = None
+        self._wal: TickWAL | None = None
+        self._ticks_since = 0
+        with forecaster._lock:
+            if forecaster._snapshotter is not None:
+                raise RuntimeError(
+                    "forecaster already has a snapshotter attached")
+            if self.wal_enabled:
+                self._wal = self._open_wal(forecaster._seq)
+            forecaster._snapshotter = self
+
+    def _open_wal(self, base_seq: int) -> TickWAL:
+        path = os.path.join(self.directory, f"wal-{base_seq:012d}.log")
+        return TickWAL(path, base_seq,
+                       config=self.forecaster.durable_config(),
+                       artifact_digest=self._artifact_digest,
+                       fsync=self.fsync)
+
+    # called from StreamingForecaster.append, under the forecaster lock
+    def observe(self, key, timestamp: float, values, seq: int) -> None:
+        if self._wal is not None:
+            self._wal.append(seq, key, timestamp, values)
+        self._ticks_since += 1
+        if self.every > 0 and self._ticks_since >= self.every:
+            self.checkpoint()
+
+    def checkpoint(self) -> str:
+        """Write a full snapshot now; rotates the WAL segment.
+
+        The snapshot, the rotation and the counter reset all happen
+        under the forecaster lock, so the new WAL segment's base
+        sequence is exactly the snapshot's — recovery chains them
+        without guessing.
+        """
+        with self.forecaster._lock:
+            state = self.forecaster.export_state()
+            seq = int(state["seq"])
+            path = os.path.join(self.directory,
+                                f"snapshot-{seq:012d}.npz")
+            path = write_snapshot(
+                path, state, artifact_digest=self._artifact_digest,
+                engine=self.forecaster.service.engine,
+                precision=self.forecaster.service.precision)
+            if self._wal is not None:
+                self._wal.close()
+                self._wal = self._open_wal(seq)
+            self._ticks_since = 0
+            self._prune()
+            return path
+
+    def _prune(self) -> None:
+        """Drop snapshots beyond ``keep`` and WAL segments before them."""
+        snapshots = snapshot_paths(self.directory)
+        if len(snapshots) <= self.keep:
+            return
+        stale, kept = snapshots[:-self.keep], snapshots[-self.keep:]
+        for _, path in stale:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        # Each WAL segment's base is a snapshot seq (rotation happens at
+        # checkpoint), so segments below the oldest kept snapshot only
+        # cover ticks some kept snapshot already contains.
+        oldest_kept = kept[0][0]
+        from .wal import wal_paths
+        for base, path in wal_paths(self.directory):
+            if base < oldest_kept:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+
+    def close(self) -> None:
+        """Detach from the forecaster and close the active WAL."""
+        with self.forecaster._lock:
+            if self.forecaster._snapshotter is self:
+                self.forecaster._snapshotter = None
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None
+
+    def __enter__(self) -> "StreamSnapshotter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,252 @@
+"""Append-only tick write-ahead log for the streaming layer.
+
+The snapshotter checkpoints the full :class:`StreamingForecaster`
+universe every N ticks; the WAL covers the gap between the last
+checkpoint and the crash.  It is *write-behind*: a tick is logged only
+after :meth:`StreamingForecaster.append` accepted it, so replaying the
+log re-runs exactly the ticks the dead process had already ingested —
+at-most-once, never a phantom tick.
+
+File layout (``wal-{base_seq:012d}.log``)::
+
+    REPRO-TICK-WAL\\n                      magic line
+    {"format": 1, "base_seq": ..., ...}\\n  JSON header (config + digest)
+    TICK <len u32 LE> <crc32 u32 LE> <body>   repeated
+    ...
+
+where each record body is a JSON line ``{"seq", "key", "timestamp",
+"shape"}`` followed by the tick's raw little-endian float64 bytes.  Each
+record is flushed before ``append`` returns; ``durable_size`` tracks the
+byte offset known to have reached the OS, which the fault harness uses
+to simulate a kill between the buffered write and the flush.
+
+``read_wal`` is strict: a record whose frame is incomplete or whose
+CRC32 disagrees raises :class:`TornWALError` carrying the offset of the
+last good byte — the recoverer decides whether a torn tail is fatal
+(``strict_wal``) or trimmed (it is exactly what a crash mid-append
+leaves behind).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+
+import numpy as np
+
+from .faults import crashpoint
+from .keys import decode_key, encode_key
+
+__all__ = [
+    "TickWAL",
+    "TornWALError",
+    "WALError",
+    "read_wal",
+    "wal_paths",
+]
+
+WAL_FORMAT_VERSION = 1
+WAL_MAGIC = b"REPRO-TICK-WAL\n"
+_RECORD_MAGIC = b"TICK"
+_FRAME = struct.Struct("<II")  # body length, crc32 of body
+
+
+class WALError(RuntimeError):
+    """The WAL file is malformed beyond a torn tail."""
+
+
+class TornWALError(WALError):
+    """The WAL ends mid-record — an un-fsynced crash's signature.
+
+    ``good_offset`` is the end of the last intact record; everything
+    before it parsed cleanly and is carried in ``records``.
+    """
+
+    def __init__(self, message: str, *, good_offset: int, records: list):
+        super().__init__(message)
+        self.good_offset = good_offset
+        self.records = records
+
+
+class TickWAL:
+    """Appender for one WAL segment starting at ``base_seq``.
+
+    Opening an existing path appends to it (resume after restart);
+    opening a fresh path writes the magic + header first.  ``config``
+    and ``artifact_digest`` ride in the header so a WAL chain alone —
+    no snapshot yet — is enough to verify compatibility and bootstrap
+    recovery from an empty forecaster.
+    """
+
+    def __init__(self, path: str, base_seq: int, *, config=None,
+                 artifact_digest=None, fsync: bool = False):
+        self.path = path
+        self.base_seq = int(base_seq)
+        self.fsync = bool(fsync)
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        fresh = not os.path.exists(path) or os.path.getsize(path) == 0
+        if not fresh:
+            # Repair-on-open: appending after a torn record would bury
+            # every new record behind unparseable bytes — silent loss of
+            # durable ticks at the next recovery.  Trim the torn tail
+            # first; refuse files that are damaged beyond that.
+            try:
+                header, _ = read_wal(path)
+            except TornWALError as torn:
+                with open(path, "r+b") as repair:
+                    repair.truncate(torn.good_offset)
+                header, _ = read_wal(path)
+            if int(header.get("base_seq", -1)) != self.base_seq:
+                raise WALError(
+                    f"{path!r} has base_seq {header.get('base_seq')!r}, "
+                    f"expected {self.base_seq}")
+        self._handle = open(path, "ab")
+        if fresh:
+            header = {
+                "format": WAL_FORMAT_VERSION,
+                "base_seq": self.base_seq,
+                "config": dict(config) if config else {},
+                "artifact_digest": artifact_digest,
+            }
+            self._handle.write(WAL_MAGIC)
+            self._handle.write(json.dumps(header, sort_keys=True)
+                               .encode("utf-8") + b"\n")
+            self._flush()
+        self.durable_size = os.path.getsize(path)
+
+    def _flush(self) -> None:
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+
+    def append(self, seq: int, key, timestamp: float, values) -> None:
+        """Log one accepted tick; durable once this returns."""
+        if self._handle.closed:
+            raise WALError(f"WAL {self.path!r} is closed")
+        row = np.ascontiguousarray(values, dtype=np.float64)
+        header = {
+            "seq": int(seq),
+            "key": encode_key(key),
+            "timestamp": float(timestamp),
+            "shape": list(row.shape),
+        }
+        body = (json.dumps(header, sort_keys=True).encode("utf-8")
+                + b"\n" + row.tobytes())
+        crashpoint("wal.append")
+        self._handle.write(_RECORD_MAGIC)
+        self._handle.write(_FRAME.pack(len(body), zlib.crc32(body)))
+        self._handle.write(body)
+        crashpoint("wal.fsync")
+        self._flush()
+        self.durable_size = self._handle.tell()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._flush()
+            self._handle.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+def read_wal(path: str):
+    """Parse a WAL segment → ``(header, records)``.
+
+    Each record is ``{"seq", "key", "timestamp", "values"}`` with
+    ``values`` a float64 array and ``key`` the decoded Python key.
+    Raises :class:`WALError` for structural damage and
+    :class:`TornWALError` (carrying the clean prefix) for a torn tail.
+    """
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    if not blob.startswith(WAL_MAGIC):
+        raise WALError(f"{path!r} is not a tick WAL (bad magic)")
+    newline = blob.find(b"\n", len(WAL_MAGIC))
+    if newline < 0:
+        raise WALError(f"{path!r} has no header line")
+    try:
+        header = json.loads(blob[len(WAL_MAGIC):newline].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WALError(f"{path!r} has a corrupt header: {exc}") from exc
+    if header.get("format") != WAL_FORMAT_VERSION:
+        raise WALError(
+            f"{path!r} has WAL format {header.get('format')!r}, "
+            f"expected {WAL_FORMAT_VERSION}")
+
+    records: list = []
+    offset = newline + 1
+    frame_size = len(_RECORD_MAGIC) + _FRAME.size
+    while offset < len(blob):
+        good = offset
+        if len(blob) - offset < frame_size:
+            raise TornWALError(
+                f"{path!r} ends mid-frame at byte {good}",
+                good_offset=good, records=records)
+        if blob[offset:offset + len(_RECORD_MAGIC)] != _RECORD_MAGIC:
+            raise WALError(
+                f"{path!r} has a corrupt record marker at byte {good}")
+        offset += len(_RECORD_MAGIC)
+        length, crc = _FRAME.unpack_from(blob, offset)
+        offset += _FRAME.size
+        body = blob[offset:offset + length]
+        if len(body) < length:
+            raise TornWALError(
+                f"{path!r} ends mid-record at byte {good}",
+                good_offset=good, records=records)
+        if zlib.crc32(body) != crc:
+            raise TornWALError(
+                f"{path!r} has a checksum mismatch at byte {good} "
+                f"(torn or corrupt record)",
+                good_offset=good, records=records)
+        offset += length
+        newline = body.find(b"\n")
+        if newline < 0:
+            raise WALError(
+                f"{path!r} has a record without a header line at {good}")
+        try:
+            meta = json.loads(body[:newline].decode("utf-8"))
+            key = decode_key(meta["key"])
+            shape = tuple(int(d) for d in meta["shape"])
+        except Exception as exc:
+            raise WALError(
+                f"{path!r} has an undecodable record at byte {good}: "
+                f"{exc}") from exc
+        payload = body[newline + 1:]
+        expected = int(np.prod(shape, dtype=np.int64)) * 8 if shape else 8
+        if len(payload) != expected:
+            raise WALError(
+                f"{path!r} record at byte {good} has {len(payload)} "
+                f"payload bytes, expected {expected}")
+        values = np.frombuffer(payload, dtype=np.float64).reshape(shape)
+        records.append({
+            "seq": int(meta["seq"]),
+            "key": key,
+            "timestamp": float(meta["timestamp"]),
+            "values": values.copy(),
+        })
+    return header, records
+
+
+def wal_paths(directory: str, start_seq: int = 0):
+    """Sorted ``[(base_seq, path)]`` of WAL segments with base >= start."""
+    if not os.path.isdir(directory):
+        return []
+    found = []
+    for name in os.listdir(directory):
+        if not (name.startswith("wal-") and name.endswith(".log")):
+            continue
+        stem = name[len("wal-"):-len(".log")]
+        if not stem.isdigit():
+            continue
+        base = int(stem)
+        if base >= start_seq:
+            found.append((base, os.path.join(directory, name)))
+    found.sort()
+    return found

@@ -16,6 +16,7 @@ from .artifact import (
     ArtifactError,
     StudentArtifact,
     load_student_artifact,
+    read_artifact_digest,
     read_artifact_info,
     save_student_artifact,
 )
@@ -26,6 +27,7 @@ __all__ = [
     "ArtifactError",
     "StudentArtifact",
     "load_student_artifact",
+    "read_artifact_digest",
     "read_artifact_info",
     "save_student_artifact",
     "ForecastService",

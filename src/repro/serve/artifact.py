@@ -39,6 +39,7 @@ __all__ = [
     "save_student_artifact",
     "load_student_artifact",
     "read_artifact_info",
+    "read_artifact_digest",
 ]
 
 #: Bump when the archive layout changes incompatibly.
@@ -136,6 +137,21 @@ def read_artifact_info(path: str) -> tuple[TimeKDConfig, dict]:
         raise ArtifactError(f"unreadable student artifact {path!r}: "
                             f"{error}") from error
     return config, metadata
+
+
+def read_artifact_digest(path: str) -> str:
+    """Read only a bundle's recorded weight digest (cheap identity check).
+
+    The streaming snapshotter stamps this into every snapshot so
+    recovery can refuse to import state produced against different
+    weights — without paying a full bundle load.
+    """
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            return str(archive["__digest__"])
+    except (OSError, KeyError, ValueError, zipfile.BadZipFile) as error:
+        raise ArtifactError(f"cannot read digest of {path!r}: "
+                            f"{error}") from error
 
 
 def load_student_artifact(path: str) -> StudentArtifact:

@@ -77,6 +77,18 @@ class ServiceStats:
             "plan_rebuilds": self.plan_rebuilds,
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ServiceStats":
+        """Rebuild counters from :meth:`as_dict` output.
+
+        Derived fields (``mean_batch``) and unknown keys are ignored, so
+        snapshots from newer builds still restore what this one knows.
+        """
+        fields = {name: int(payload[name]) for name in (
+            "requests", "batches", "served", "max_coalesced",
+            "loads", "evictions") if name in payload}
+        return cls(**fields)
+
 
 class _Request:
     __slots__ = ("history", "raw_values", "future")
@@ -266,6 +278,26 @@ class ForecastService:
             stats.plan_evictions += plan["evictions"]
             stats.plan_rebuilds += plan["rebuilds"]
         return stats
+
+    def restore_stats(self, payload: dict) -> None:
+        """Fold a recovered snapshot's service counters into this process.
+
+        Counters are cumulative across incarnations: additive fields
+        merge by addition and ``max_coalesced`` by maximum, so a
+        monitoring pipeline sees one continuous history over a crash.
+        ``plan_*`` counters are skipped — they are derived live from the
+        resident engines' caches and restoring stale ones would double
+        count.
+        """
+        restored = ServiceStats.from_dict(payload)
+        with self._lock:
+            self.stats.requests += restored.requests
+            self.stats.batches += restored.batches
+            self.stats.served += restored.served
+            self.stats.loads += restored.loads
+            self.stats.evictions += restored.evictions
+            self.stats.max_coalesced = max(
+                self.stats.max_coalesced, restored.max_coalesced)
 
     def _get_model(self, key: tuple[str, int]) -> _LoadedModel:
         """Fetch (loading lazily, LRU-evicting) the model for ``key``."""

@@ -105,6 +105,52 @@ class DriftMonitor:
         self._alarmed = False
 
     # ------------------------------------------------------------------
+    # durable state
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Everything needed to resume this monitor bitwise.
+
+        Rolling error windows come back as float64 arrays (newest last);
+        the un-calibrated reference is exported as ``None``.
+        """
+        return {
+            "window": self.window,
+            "calibration": self.calibration,
+            "threshold": self.threshold,
+            "slack": self.slack,
+            "abs_errors": np.asarray(self._abs_errors, dtype=np.float64),
+            "sq_errors": np.asarray(self._sq_errors, dtype=np.float64),
+            "count": self._count,
+            "reference": self._reference,
+            "cusum": self._cusum,
+            "alarmed": self._alarmed,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "DriftMonitor":
+        """Rebuild a :class:`DriftMonitor` from :meth:`export_state`."""
+        monitor = cls(window=int(state["window"]),
+                      calibration=int(state["calibration"]),
+                      threshold=float(state["threshold"]),
+                      slack=float(state["slack"]))
+        abs_errors = np.asarray(state["abs_errors"], dtype=np.float64)
+        sq_errors = np.asarray(state["sq_errors"], dtype=np.float64)
+        if abs_errors.shape != sq_errors.shape or abs_errors.ndim != 1:
+            raise ValueError("drift error windows must be matching vectors")
+        if len(abs_errors) > monitor.window:
+            raise ValueError(
+                f"drift window holds {len(abs_errors)} errors, "
+                f"capacity is {monitor.window}")
+        monitor._abs_errors.extend(float(e) for e in abs_errors)
+        monitor._sq_errors.extend(float(e) for e in sq_errors)
+        monitor._count = int(state["count"])
+        reference = state["reference"]
+        monitor._reference = None if reference is None else float(reference)
+        monitor._cusum = float(state["cusum"])
+        monitor._alarmed = bool(state["alarmed"])
+        return monitor
+
+    # ------------------------------------------------------------------
     # readouts
     # ------------------------------------------------------------------
     @property

@@ -22,6 +22,7 @@ until reset.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass
@@ -137,6 +138,13 @@ class StreamingForecaster:
             threshold=drift_threshold, slack=drift_slack)
         self._runtimes: dict = {}
         self._latest: dict = {}
+        # Re-entrant: a checkpoint triggered from inside append() calls
+        # export_state() while the append still holds the lock.
+        self._lock = threading.RLock()
+        #: Successful append() calls so far — the WAL sequence number.
+        self._seq = 0
+        #: Attached StreamSnapshotter (see repro.durable), or None.
+        self._snapshotter = None
 
     # ------------------------------------------------------------------
     # ingestion + triggering
@@ -150,30 +158,39 @@ class StreamingForecaster:
         ``None``.  The future is also cached — :meth:`latest` serves it
         without blocking the ingest path.
         """
-        result = self.ingestor.append(key, timestamp, values)
-        runtime = self._runtime(key)  # after ingest: no phantom keys
-        state = self.ingestor.state(key)
-        self.stats.ticks += result.observed
-        self.stats.rows += result.rows
-        self.stats.filled += result.filled
-        if result.filled:
-            self.stats.gaps += 1
-        self._score_drift(runtime, state, result.observed)
-        runtime.pending_ticks += result.rows
-        if (self.cadence > 0 and state.ready
-                and runtime.pending_ticks >= self.cadence):
-            return self._issue(key, runtime, state)
-        return None
+        with self._lock:
+            result = self.ingestor.append(key, timestamp, values)
+            runtime = self._runtime(key)  # after ingest: no phantom keys
+            state = self.ingestor.state(key)
+            self.stats.ticks += result.observed
+            self.stats.rows += result.rows
+            self.stats.filled += result.filled
+            if result.filled:
+                self.stats.gaps += 1
+            self._score_drift(runtime, state, result.observed)
+            runtime.pending_ticks += result.rows
+            future = None
+            if (self.cadence > 0 and state.ready
+                    and runtime.pending_ticks >= self.cadence):
+                future = self._issue(key, runtime, state)
+            self._seq += 1
+            if self._snapshotter is not None:
+                self._snapshotter.observe(key, timestamp, values, self._seq)
+            return future
 
     def forecast(self, key) -> np.ndarray:
         """On-demand blocking re-forecast of ``key``'s current window."""
-        runtime = self._runtime(key)
-        state = self.ingestor.state(key)  # raises for unknown keys
-        if not state.ready:
-            raise ValueError(
-                f"stream {key!r} has {state.count} of {self.input_len} "
-                f"rows needed for a forecast")
-        return self._issue(key, runtime, state).result()
+        with self._lock:
+            state = self.ingestor.state(key)  # raises for unknown keys
+            runtime = self._runtime(key)
+            if not state.ready:
+                raise ValueError(
+                    f"stream {key!r} has {state.count} of {self.input_len} "
+                    f"rows needed for a forecast")
+            future = self._issue(key, runtime, state)
+        # Wait outside the lock: the service worker resolves the future
+        # without it, and concurrent appends must not queue behind us.
+        return future.result()
 
     def latest(self, key, wait: bool = True) -> np.ndarray | None:
         """Most recent forecast for ``key`` (``None`` if never issued).
@@ -181,7 +198,8 @@ class StreamingForecaster:
         With ``wait=False`` an unresolved in-flight forecast also
         returns ``None`` instead of blocking.
         """
-        future = self._latest.get(key)
+        with self._lock:
+            future = self._latest.get(key)
         if future is None or (not wait and not future.done()):
             return None
         return np.asarray(future.result())
@@ -261,52 +279,241 @@ class StreamingForecaster:
     # ------------------------------------------------------------------
     # readouts
     # ------------------------------------------------------------------
+    @property
+    def seq(self) -> int:
+        """Successful :meth:`append` calls so far (the WAL sequence)."""
+        with self._lock:
+            return self._seq
+
     def keys(self) -> list:
-        return self.ingestor.keys()
+        with self._lock:
+            return self.ingestor.keys()
 
     def state(self, key) -> SeriesState:
-        return self.ingestor.state(key)
+        with self._lock:
+            return self.ingestor.state(key)
 
     def drop(self, key) -> None:
         """Retire a series completely (ring buffer, drift monitor,
         cached forecast) — long-lived deployments with series churn
         must use this, not ``ingestor.drop``, to avoid leaking per-key
         runtime state."""
-        self.ingestor.drop(key)
-        self._runtimes.pop(key, None)
-        self._latest.pop(key, None)
+        with self._lock:
+            self.ingestor.drop(key)
+            self._runtimes.pop(key, None)
+            self._latest.pop(key, None)
 
     def monitor(self, key) -> DriftMonitor:
         """The drift monitor for ``key`` (must have been ingested)."""
-        if key not in self._runtimes:
-            raise KeyError(f"unknown stream key {key!r}")
-        return self._runtimes[key].monitor
+        with self._lock:
+            if key not in self._runtimes:
+                raise KeyError(f"unknown stream key {key!r}")
+            return self._runtimes[key].monitor
 
     def alarmed_keys(self) -> list:
-        alarmed = []
-        for key, runtime in self._runtimes.items():
-            self._note_alarm(runtime)
-            if runtime.monitor.alarmed:
-                alarmed.append(key)
-        return alarmed
+        with self._lock:
+            alarmed = []
+            for key, runtime in self._runtimes.items():
+                self._note_alarm(runtime)
+                if runtime.monitor.alarmed:
+                    alarmed.append(key)
+            return alarmed
 
     def reset_drift(self, key) -> None:
         """Clear ``key``'s alarm and re-calibrate its monitor."""
-        if key not in self._runtimes:
-            raise KeyError(f"unknown stream key {key!r}")
-        runtime = self._runtimes[key]
-        self._note_alarm(runtime)  # count the episode even if unseen
-        runtime.monitor.reset()
-        runtime.alarm_counted = False
+        with self._lock:
+            if key not in self._runtimes:
+                raise KeyError(f"unknown stream key {key!r}")
+            runtime = self._runtimes[key]
+            self._note_alarm(runtime)  # count the episode even if unseen
+            runtime.monitor.reset()
+            runtime.alarm_counted = False
 
     def snapshot(self) -> dict:
         """Composed stream- and serve-level counters (one coherent
-        service snapshot, see :meth:`ForecastService.snapshot`)."""
-        stream = self.stats.as_dict()
-        stream["series"] = len(self.ingestor.keys())
-        stream["alarmed"] = len(self.alarmed_keys())
+        service snapshot, see :meth:`ForecastService.snapshot`).
+
+        Taken under the forecaster lock so a concurrent ``append`` or
+        ``drop`` can never produce a torn stats dict (e.g. a series
+        count from before a drop paired with alarms from after it).
+        """
+        with self._lock:
+            stream = self.stats.as_dict()
+            stream["seq"] = self._seq
+            stream["series"] = len(self.ingestor.keys())
+            stream["alarmed"] = len(self.alarmed_keys())
         service = self.service.snapshot().as_dict()
         service["engine"] = self.service.engine
         service["precision"] = self.service.precision
         service["serve_threads"] = self.service.serve_threads
         return {"stream": stream, "service": service}
+
+    # ------------------------------------------------------------------
+    # durable state
+    # ------------------------------------------------------------------
+    def durable_config(self) -> dict:
+        """The identity + policy knobs a snapshot must record.
+
+        The recoverer compares the identity subset (shapes, grid, gap
+        policy, ``raw_values``) strictly — restoring into a forecaster
+        whose windows would differ is refused.  Cadence, fallback and
+        drift parameters are policy knobs the restoring process may
+        legitimately override.
+        """
+        capacity = self.ingestor.capacity
+        if capacity is None:
+            capacity = 2 * self.input_len  # the SeriesState default
+        return {
+            "dataset": self.model_key[0],
+            "horizon": self.model_key[1],
+            "input_len": self.input_len,
+            "horizon_len": self.horizon_len,
+            "num_variables": self.num_variables,
+            "interval": self.ingestor.interval,
+            "policy": self.ingestor.policy,
+            "max_gap": self.ingestor.max_gap,
+            "capacity": int(capacity),
+            "raw_values": self.raw_values,
+            "cadence": self.cadence,
+            "fallback_naive": self.fallback_naive,
+            "drift": dict(self._drift_params),
+        }
+
+    def export_state(self) -> dict:
+        """One consistent, fully resolved view of the whole universe.
+
+        Taken under the lock; every in-flight forecast future is waited
+        on first (the service worker resolves them without this lock),
+        so the exported arrays are concrete values, not promises.
+        Futures that failed are dropped — they hold no state worth
+        persisting.
+        """
+        with self._lock:
+            entries = []
+            for key in self.ingestor.keys():
+                entry = self.ingestor.export_key(key)
+                entry["key"] = key
+                runtime = self._runtimes.get(key)
+                if runtime is None:  # ingested but never scored/issued
+                    runtime = _SeriesRuntime(
+                        DriftMonitor(**self._drift_params))
+                entry["pending_ticks"] = runtime.pending_ticks
+                entry["alarm_counted"] = runtime.alarm_counted
+                entry["drift"] = runtime.monitor.export_state()
+                issued = []
+                for issued_at, future in runtime.issued:  # newest first
+                    if future.exception() is not None:
+                        continue
+                    issued.append((int(issued_at),
+                                   np.asarray(future.result()).copy()))
+                entry["issued"] = issued
+                latest = self._latest.get(key)
+                entry["latest"] = (
+                    None if latest is None or latest.exception() is not None
+                    else np.asarray(latest.result()).copy())
+                entries.append(entry)
+            return {
+                "seq": self._seq,
+                "config": self.durable_config(),
+                "stream_stats": self.stats.as_dict(),
+                "service_stats": self.service.snapshot().as_dict(),
+                "entries": entries,
+            }
+
+    def import_state(self, state: dict) -> None:
+        """Atomically replace all streaming state with an exported view.
+
+        Everything is rebuilt and validated first; only then does the
+        swap happen, so a malformed payload leaves the live state
+        untouched (the fail-closed contract the recoverer relies on).
+        Service counters are *not* touched here — see
+        :meth:`ForecastService.restore_stats`.
+        """
+        with self._lock:
+            entries: dict = {}
+            runtimes: dict = {}
+            latest: dict = {}
+            for entry in state["entries"]:
+                key = entry["key"]
+                entries[key] = {
+                    "series": entry["series"],
+                    "last_timestamp": entry["last_timestamp"],
+                    "gaps": entry["gaps"],
+                }
+                runtime = _SeriesRuntime(
+                    DriftMonitor.from_state(entry["drift"]))
+                runtime.pending_ticks = int(entry["pending_ticks"])
+                runtime.alarm_counted = bool(entry["alarm_counted"])
+                for issued_at, forecast in entry["issued"]:  # newest first
+                    future: Future = Future()
+                    future.set_result(np.asarray(forecast))
+                    runtime.issued.append((int(issued_at), future))
+                runtimes[key] = runtime
+                if entry["latest"] is not None:
+                    future = Future()
+                    future.set_result(np.asarray(entry["latest"]))
+                    latest[key] = future
+            stats = StreamStats(**{
+                field: int(state["stream_stats"][field])
+                for field in StreamStats().as_dict()})
+            seq = int(state["seq"])
+            self.ingestor.import_entries(entries)  # validates, then swaps
+            self._runtimes = runtimes
+            self._latest = latest
+            self.stats = stats
+            self._seq = seq
+
+    def clear(self) -> None:
+        """Drop every series, counter and cached forecast (seq included).
+
+        The recoverer calls this when an import fails partway — the
+        fail-closed alternative to leaving half a universe behind.
+        """
+        with self._lock:
+            self.ingestor.import_entries({})
+            self._runtimes = {}
+            self._latest = {}
+            self.stats = StreamStats()
+            self._seq = 0
+
+    def snapshot_to(self, path: str) -> str:
+        """Write a durable snapshot of the full universe to ``path``.
+
+        Convenience around :func:`repro.durable.snapshot.write_snapshot`
+        — stamps the bundle's weight digest plus the live engine and
+        precision so recovery can verify it is importing into a
+        compatible serving process.  Returns the written path.
+        """
+        from ..durable.snapshot import write_snapshot
+        from ..serve.artifact import ArtifactError, read_artifact_digest
+
+        with self._lock:
+            state = self.export_state()
+            try:
+                digest = read_artifact_digest(
+                    self.service.path_for(self.model_key))
+            except (KeyError, ArtifactError):
+                digest = None
+            return write_snapshot(path, state, artifact_digest=digest,
+                                  engine=self.service.engine,
+                                  precision=self.service.precision)
+
+    def restore_from(self, source: str, *, replay_wal: bool = True,
+                     strict_wal: bool = True, recoverer=None):
+        """Recover this forecaster from ``source`` (snapshot or directory).
+
+        Runs a :class:`repro.durable.recover.StatefulRecoverer` (pass
+        your own via ``recoverer`` to inspect stages afterwards) and
+        raises :class:`repro.durable.recover.RecoveryError` unless it
+        reaches ``succeeded``.  Returns the final
+        :class:`~repro.durable.recover.RecoveryState`.
+        """
+        from ..durable.recover import RecoveryError, StatefulRecoverer
+
+        if recoverer is None:
+            recoverer = StatefulRecoverer()
+        state = recoverer.recover(source, self, replay_wal=replay_wal,
+                                  strict_wal=strict_wal)
+        if state.failure_reason is not None:
+            raise RecoveryError(state)
+        return state

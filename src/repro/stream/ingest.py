@@ -129,6 +129,44 @@ class StreamIngestor:
         """Forget a series entirely (state, timestamps, gap counts)."""
         self._streams.pop(key, None)
 
+    # ------------------------------------------------------------------
+    # durable state
+    # ------------------------------------------------------------------
+    def export_key(self, key) -> dict:
+        """Durable view of one keyed stream (series + timestamps + gaps)."""
+        stream = self._streams.get(key)
+        if stream is None:
+            raise KeyError(f"unknown stream key {key!r}")
+        return {
+            "series": stream.state.export_state(),
+            "last_timestamp": stream.last_timestamp,
+            "gaps": stream.gaps,
+        }
+
+    def import_entries(self, entries: dict) -> None:
+        """Replace every keyed stream with restored state, atomically.
+
+        ``entries`` maps each key to an :meth:`export_key` payload.  All
+        streams are rebuilt and validated against this ingestor's shape
+        contract *before* the swap — a bad entry leaves the current
+        state untouched.
+        """
+        rebuilt: dict = {}
+        for key, entry in entries.items():
+            state = SeriesState.from_state(entry["series"])
+            if (state.input_len != self.input_len
+                    or state.num_variables != self.num_variables):
+                raise ValueError(
+                    f"restored series {key!r} has shape contract "
+                    f"({state.input_len}, {state.num_variables}), ingestor "
+                    f"expects ({self.input_len}, {self.num_variables})")
+            last = entry["last_timestamp"]
+            rebuilt[key] = _KeyedStream(
+                state=state,
+                last_timestamp=None if last is None else float(last),
+                gaps=int(entry["gaps"]))
+        self._streams = rebuilt
+
     def _stream_for(self, key) -> _KeyedStream:
         stream = self._streams.get(key)
         if stream is None:

@@ -43,6 +43,8 @@ class ReplayReport:
     forecasts: dict = field(default_factory=dict)
     stream: dict = field(default_factory=dict)
     service: dict = field(default_factory=dict)
+    #: First global tick this run fed (non-zero for resumed replays).
+    first_tick: int = 0
 
     @property
     def ticks_per_second(self) -> float:
@@ -54,6 +56,7 @@ class ReplayReport:
             "key": list(self.key) if isinstance(self.key, tuple)
             else self.key,
             "ticks": self.ticks,
+            "first_tick": self.first_tick,
             "duration_s": self.duration_s,
             "ticks_per_second": self.ticks_per_second,
             "forecasts": len(self.forecasts),
@@ -65,25 +68,36 @@ class ReplayReport:
 def replay(forecaster: StreamingForecaster,
            values: np.ndarray | MultivariateTimeSeries,
            key=("replay", "series"), start: float = 0.0,
-           max_ticks: int | None = None) -> ReplayReport:
+           max_ticks: int | None = None,
+           first_tick: int = 0) -> ReplayReport:
     """Feed ``values`` through ``forecaster`` tick-by-tick.
 
     Ticks are spaced by the forecaster's ingest interval starting at
     ``start``; every issued forecast is resolved before the report is
     returned, so ``duration_s`` covers ingestion *and* forecasting —
     the end-to-end rate a live deployment would sustain.
+
+    ``first_tick`` resumes a replay mid-series (after crash recovery):
+    ticks ``first_tick .. end`` are fed with their *global* timestamps
+    and forecast indices, so a recovered run's report merges seamlessly
+    with the pre-crash one.  ``max_ticks`` counts ticks fed by *this*
+    call.
     """
     if isinstance(values, MultivariateTimeSeries):
         values = values.values
     values = np.asarray(values, dtype=np.float64)
     if values.ndim != 2:
         raise ValueError(f"values must be (T, N), got {values.shape}")
-    ticks = len(values) if max_ticks is None else min(max_ticks, len(values))
+    if not 0 <= first_tick <= len(values):
+        raise ValueError(
+            f"first_tick must be in [0, {len(values)}], got {first_tick}")
+    end = (len(values) if max_ticks is None
+           else min(first_tick + max_ticks, len(values)))
     interval = forecaster.ingestor.interval
 
     futures: dict = {}
     begin = time.perf_counter()
-    for i in range(ticks):
+    for i in range(first_tick, end):
         future = forecaster.append(key, start + i * interval, values[i])
         if future is not None:
             futures[i] = future
@@ -91,9 +105,11 @@ def replay(forecaster: StreamingForecaster,
     duration = time.perf_counter() - begin
 
     snapshot = forecaster.snapshot()
-    return ReplayReport(key=key, ticks=ticks, duration_s=duration,
-                        forecasts=forecasts, stream=snapshot["stream"],
-                        service=snapshot["service"])
+    return ReplayReport(key=key, ticks=end - first_tick,
+                        duration_s=duration, forecasts=forecasts,
+                        stream=snapshot["stream"],
+                        service=snapshot["service"],
+                        first_tick=first_tick)
 
 
 def verify_parity(report: ReplayReport, forecaster: StreamingForecaster,

@@ -154,6 +154,50 @@ class SeriesState:
             return np.zeros(self.num_variables, dtype=np.float64)
         return np.sqrt(np.maximum(self._m2 / self.count, 0.0))
 
+    # ------------------------------------------------------------------
+    # durable state
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Copy of everything needed to rebuild this state bitwise.
+
+        The full doubled buffer is exported (not just the live window):
+        restoring it byte-for-byte keeps every later :meth:`tail` view
+        identical to the uninterrupted process, whatever the write head
+        position.
+        """
+        return {
+            "input_len": self.input_len,
+            "num_variables": self.num_variables,
+            "capacity": self.capacity,
+            "count": self.count,
+            "buffer": self._buffer.copy(),
+            "mean": self._mean.copy(),
+            "m2": self._m2.copy(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SeriesState":
+        """Rebuild a :class:`SeriesState` from :meth:`export_state`."""
+        restored = cls(int(state["input_len"]), int(state["num_variables"]),
+                       capacity=int(state["capacity"]))
+        buffer = np.asarray(state["buffer"], dtype=np.float64)
+        if buffer.shape != restored._buffer.shape:
+            raise ValueError(
+                f"series buffer has shape {buffer.shape}, expected "
+                f"{restored._buffer.shape}")
+        count = int(state["count"])
+        if count < 0:
+            raise ValueError(f"series count must be >= 0, got {count}")
+        mean = np.asarray(state["mean"], dtype=np.float64)
+        m2 = np.asarray(state["m2"], dtype=np.float64)
+        if mean.shape != restored._mean.shape or m2.shape != restored._m2.shape:
+            raise ValueError("series running stats have the wrong shape")
+        restored._buffer[:] = buffer
+        restored._mean[:] = mean
+        restored._m2[:] = m2
+        restored.count = count
+        return restored
+
     def running_scaler(self, eps: float = 1e-8) -> StandardScaler:
         """A fitted :class:`StandardScaler` from the running statistics.
 

@@ -146,6 +146,29 @@ class TestEngineFlagValidation:
             assert "--serve-threads" in capsys.readouterr().out
 
 
+class TestDurabilityFlagValidation:
+    """--snapshot-* / --resume fail fast at the parser, never mid-run."""
+
+    @pytest.mark.parametrize("flags", [
+        ["--resume"],
+        ["--snapshot-every", "50"],
+        ["--no-wal"],
+    ])
+    def test_durability_flags_require_snapshot_dir(self, flags, capsys):
+        with pytest.raises(SystemExit):
+            main(["stream", "--artifacts", "nowhere"] + flags)
+        assert "requires --snapshot-dir" in capsys.readouterr().err
+
+    def test_help_documents_durability_flags(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["stream", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for flag in ("--snapshot-dir", "--snapshot-every", "--resume",
+                     "--no-wal"):
+            assert flag in out
+
+
 class TestMultiSeed:
     def test_run_model_seeds_aggregates(self):
         scale = ExperimentScale(

@@ -1,0 +1,643 @@
+"""Durability layer: snapshots, WAL, staged recovery, fault injection.
+
+The headline test kills a replay mid-stream at an arbitrary tick,
+recovers, finishes, and demands the merged forecasts be **bitwise
+identical** to an uninterrupted run — under both engines.  The fault
+tests prove every stage fails closed: each injected fault lands the
+recoverer in ``failed`` with a specific ``failure_reason`` and never a
+partial import.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import TimeKDConfig
+from repro.core.student import StudentModel
+from repro.data import StandardScaler
+from repro.serve import ForecastService, save_student_artifact
+from repro.stream import SeriesState, StreamingForecaster, replay
+from repro.durable import (
+    InjectedCrash,
+    KeyCodecError,
+    RecoveryError,
+    RecoveryStages,
+    StatefulRecoverer,
+    StreamSnapshotter,
+    TickWAL,
+    TornWALError,
+    WALError,
+    atomic_write_json,
+    decode_key,
+    disarm_all,
+    encode_key,
+    flip_digest_byte,
+    inject,
+    latest_snapshot,
+    read_wal,
+    snapshot_paths,
+    truncate_file,
+    wal_paths,
+    write_snapshot,
+)
+from repro.durable.faults import torn_tail
+from repro.nn.serialization import load_arrays, save_arrays
+
+L, N, M = 32, 3, 8
+
+
+def stream_config(**overrides) -> TimeKDConfig:
+    base = TimeKDConfig(history_length=L, horizon=M, num_variables=N,
+                        d_model=16, num_heads=2, num_layers=1, ffn_dim=32)
+    return base.with_updates(**overrides) if overrides else base
+
+
+def make_bundle(directory, name="m.npz", dataset="ETTm1",
+                config: TimeKDConfig | None = None) -> TimeKDConfig:
+    config = config or stream_config()
+    student = StudentModel(config)
+    student.eval()
+    scaler = StandardScaler().fit(np.random.default_rng(0).normal(
+        2.0, 3.0, size=(200, config.num_variables)))
+    save_student_artifact(os.path.join(directory, name), student, config,
+                          scaler=scaler, metadata={"dataset": dataset})
+    return config
+
+
+@pytest.fixture(autouse=True)
+def clean_crashpoints():
+    disarm_all()
+    yield
+    disarm_all()
+
+
+@pytest.fixture()
+def walk(rng) -> np.ndarray:
+    return np.cumsum(rng.normal(size=(150, N)), axis=0)
+
+
+@pytest.fixture()
+def bundle_dir(tmp_path):
+    directory = str(tmp_path / "artifacts")
+    os.makedirs(directory)
+    make_bundle(directory)
+    return directory
+
+
+def make_forecaster(bundle_dir, engine="module", **overrides):
+    service = ForecastService(bundle_dir, engine=engine)
+    options = dict(cadence=5, raw_values=True)
+    options.update(overrides)
+    forecaster = StreamingForecaster(service, "ETTm1", M, **options)
+    return service, forecaster
+
+
+def states_bitwise_equal(a: StreamingForecaster, b: StreamingForecaster):
+    assert sorted(map(str, a.keys())) == sorted(map(str, b.keys()))
+    for key in a.keys():
+        sa, sb = a.state(key), b.state(key)
+        assert sa.count == sb.count
+        assert sa._buffer.tobytes() == sb._buffer.tobytes()
+        assert sa.mean.tobytes() == sb.mean.tobytes()
+        assert sa._m2.tobytes() == sb._m2.tobytes()
+        assert a.monitor(key).as_dict() == b.monitor(key).as_dict()
+    assert a.stats.as_dict() == b.stats.as_dict()
+    assert a.seq == b.seq
+
+
+# ----------------------------------------------------------------------
+# key codec + atomic sidecars
+# ----------------------------------------------------------------------
+class TestKeyCodec:
+    @pytest.mark.parametrize("key", [
+        "plain", 7, ("replay", "ETTm1#3"), ("a", ("b", 2), 3), (),
+    ])
+    def test_round_trip_is_exact(self, key):
+        decoded = decode_key(json.loads(json.dumps(encode_key(key))))
+        assert decoded == key
+        assert type(decoded) is type(key)
+
+    @pytest.mark.parametrize("bad", [1.5, True, None, ["list"], object()])
+    def test_unsupported_keys_rejected(self, bad):
+        with pytest.raises(KeyCodecError):
+            encode_key(bad)
+
+    @pytest.mark.parametrize("payload", [
+        ["x", "v"], ["i", "7"], ["t", "notalist"], "junk", ["s"],
+    ])
+    def test_malformed_payloads_rejected(self, payload):
+        with pytest.raises(KeyCodecError):
+            decode_key(payload)
+
+
+class TestAtomicJSON:
+    def test_write_and_no_temp_droppings(self, tmp_path):
+        path = str(tmp_path / "stats.json")
+        atomic_write_json(path, {"ticks": 42, "rate": 1.25})
+        with open(path) as handle:
+            assert json.load(handle) == {"ticks": 42, "rate": 1.25}
+        assert os.listdir(tmp_path) == ["stats.json"]  # tmp file cleaned
+
+    def test_overwrite_is_total(self, tmp_path):
+        path = str(tmp_path / "stats.json")
+        atomic_write_json(path, {"long": "x" * 4096})
+        atomic_write_json(path, {"short": 1})
+        with open(path) as handle:
+            assert json.load(handle) == {"short": 1}
+
+
+# ----------------------------------------------------------------------
+# WAL
+# ----------------------------------------------------------------------
+class TestTickWAL:
+    def test_append_read_round_trip(self, tmp_path, rng):
+        path = str(tmp_path / "wal-000000000000.log")
+        rows = rng.normal(size=(3, N))
+        with TickWAL(path, 0, config={"dataset": "ETTm1"},
+                     artifact_digest="abc") as wal:
+            wal.append(1, ("replay", "a"), 0.0, rows[0])
+            wal.append(2, ("replay", "a"), 1.0, rows[1])
+            wal.append(3, "other", 2.0, rows[2])
+        header, records = read_wal(path)
+        assert header["base_seq"] == 0
+        assert header["config"] == {"dataset": "ETTm1"}
+        assert header["artifact_digest"] == "abc"
+        assert [r["seq"] for r in records] == [1, 2, 3]
+        assert records[0]["key"] == ("replay", "a")
+        assert records[2]["key"] == "other"
+        for record, row in zip(records, rows):
+            assert record["values"].tobytes() == np.asarray(
+                row, dtype=np.float64).tobytes()
+
+    def test_bulk_run_round_trips_shape(self, tmp_path, rng):
+        path = str(tmp_path / "wal-000000000000.log")
+        run = rng.normal(size=(5, N))
+        with TickWAL(path, 0) as wal:
+            wal.append(1, "k", 0.0, run)
+        _, records = read_wal(path)
+        assert records[0]["values"].shape == (5, N)
+        assert records[0]["values"].tobytes() == run.astype(
+            np.float64).tobytes()
+
+    def test_torn_tail_trims_to_good_prefix(self, tmp_path, rng):
+        path = str(tmp_path / "wal-000000000000.log")
+        with TickWAL(path, 0) as wal:
+            for seq in range(1, 4):
+                wal.append(seq, "k", float(seq), rng.normal(size=N))
+        torn_tail(path, drop_bytes=5)
+        with pytest.raises(TornWALError) as info:
+            read_wal(path)
+        assert [r["seq"] for r in info.value.records] == [1, 2]
+
+    def test_reopen_repairs_torn_tail(self, tmp_path, rng):
+        path = str(tmp_path / "wal-000000000000.log")
+        with TickWAL(path, 0) as wal:
+            wal.append(1, "k", 0.0, rng.normal(size=N))
+            wal.append(2, "k", 1.0, rng.normal(size=N))
+        torn_tail(path, drop_bytes=3)
+        # Appending after a crash must not bury new records behind the
+        # torn bytes — the reopen trims them first.
+        with TickWAL(path, 0) as wal:
+            wal.append(2, "k", 1.0, rng.normal(size=N))
+        _, records = read_wal(path)
+        assert [r["seq"] for r in records] == [1, 2]
+
+    def test_reopen_with_wrong_base_refused(self, tmp_path, rng):
+        path = str(tmp_path / "wal-000000000007.log")
+        with TickWAL(path, 7) as wal:
+            wal.append(8, "k", 0.0, rng.normal(size=N))
+        with pytest.raises(WALError, match="base_seq"):
+            TickWAL(path, 9)
+
+    def test_wal_paths_filters_and_sorts(self, tmp_path):
+        for base in (0, 40, 80):
+            TickWAL(str(tmp_path / f"wal-{base:012d}.log"), base).close()
+        (tmp_path / "wal-junk.log").write_text("x")
+        found = wal_paths(str(tmp_path), 40)
+        assert [base for base, _ in found] == [40, 80]
+
+    def test_durable_size_tracks_flushes(self, tmp_path, rng):
+        path = str(tmp_path / "wal-000000000000.log")
+        wal = TickWAL(path, 0)
+        header_size = wal.durable_size
+        wal.append(1, "k", 0.0, rng.normal(size=N))
+        assert wal.durable_size > header_size
+        assert wal.durable_size == os.path.getsize(path)
+        wal.close()
+
+
+# ----------------------------------------------------------------------
+# snapshot round trip
+# ----------------------------------------------------------------------
+class TestSnapshotRoundTrip:
+    def test_restore_is_bitwise(self, bundle_dir, walk, tmp_path):
+        service, forecaster = make_forecaster(bundle_dir)
+        replay(forecaster, walk, max_ticks=60)
+        path = forecaster.snapshot_to(str(tmp_path / "snap.npz"))
+        service2, restored = make_forecaster(bundle_dir)
+        state = restored.restore_from(path, replay_wal=False)
+        assert state.stage is RecoveryStages.SUCCEEDED
+        states_bitwise_equal(forecaster, restored)
+        # cached latest forecast survives with dtype + bytes intact
+        key = forecaster.keys()[0]
+        a, b = forecaster.latest(key), restored.latest(key)
+        assert a.dtype == b.dtype and a.tobytes() == b.tobytes()
+        service.close()
+        service2.close()
+
+    def test_continuation_is_bitwise(self, bundle_dir, walk, tmp_path):
+        service, forecaster = make_forecaster(bundle_dir)
+        replay(forecaster, walk, max_ticks=60)
+        path = forecaster.snapshot_to(str(tmp_path / "snap.npz"))
+        service2, restored = make_forecaster(bundle_dir)
+        restored.restore_from(path, replay_wal=False)
+        rest_a = replay(forecaster, walk, first_tick=60)
+        rest_b = replay(restored, walk, first_tick=60)
+        assert sorted(rest_a.forecasts) == sorted(rest_b.forecasts)
+        for tick, forecast in rest_a.forecasts.items():
+            assert forecast.tobytes() == rest_b.forecasts[tick].tobytes()
+        service.close()
+        service2.close()
+
+    def test_empty_forecaster_round_trips(self, bundle_dir, tmp_path):
+        service, forecaster = make_forecaster(bundle_dir)
+        path = forecaster.snapshot_to(str(tmp_path / "snap.npz"))
+        service2, restored = make_forecaster(bundle_dir)
+        state = restored.restore_from(path, replay_wal=False)
+        assert state.stage is RecoveryStages.SUCCEEDED
+        assert restored.keys() == [] and restored.seq == 0
+        service.close()
+        service2.close()
+
+    def test_service_counters_merge_cumulatively(self, bundle_dir, walk,
+                                                 tmp_path):
+        service, forecaster = make_forecaster(bundle_dir)
+        replay(forecaster, walk, max_ticks=60)
+        before = service.snapshot()
+        path = forecaster.snapshot_to(str(tmp_path / "snap.npz"))
+        service.close()
+        service2, restored = make_forecaster(bundle_dir)
+        restored.restore_from(path, replay_wal=False)
+        merged = service2.snapshot()
+        assert merged.requests == before.requests
+        assert merged.served == before.served
+        assert merged.max_coalesced >= before.max_coalesced
+        service2.close()
+
+
+# ----------------------------------------------------------------------
+# snapshotter policies
+# ----------------------------------------------------------------------
+class TestStreamSnapshotter:
+    def test_every_n_ticks_checkpoints(self, bundle_dir, walk, tmp_path):
+        snapdir = str(tmp_path / "snaps")
+        service, forecaster = make_forecaster(bundle_dir)
+        with StreamSnapshotter(forecaster, snapdir, every=20):
+            replay(forecaster, walk, max_ticks=65)
+        assert [seq for seq, _ in snapshot_paths(snapdir)] == [20, 40, 60]
+        # WAL rotated at each checkpoint; tail segment holds ticks 61-65
+        _, records = read_wal(wal_paths(snapdir, 60)[0][1])
+        assert [r["seq"] for r in records] == [61, 62, 63, 64, 65]
+        service.close()
+
+    def test_prune_keeps_recoverable_suffix(self, bundle_dir, walk,
+                                            tmp_path):
+        snapdir = str(tmp_path / "snaps")
+        service, forecaster = make_forecaster(bundle_dir)
+        with StreamSnapshotter(forecaster, snapdir, every=10, keep=2):
+            replay(forecaster, walk, max_ticks=55)
+        assert [seq for seq, _ in snapshot_paths(snapdir)] == [40, 50]
+        assert all(base >= 40 for base, _ in wal_paths(snapdir))
+        service.close()
+
+    def test_close_detaches(self, bundle_dir, walk, tmp_path):
+        snapdir = str(tmp_path / "snaps")
+        service, forecaster = make_forecaster(bundle_dir)
+        snapshotter = StreamSnapshotter(forecaster, snapdir)
+        replay(forecaster, walk, max_ticks=40)
+        snapshotter.close()
+        replay(forecaster, walk, first_tick=40, max_ticks=10)
+        _, records = read_wal(wal_paths(snapdir, 0)[0][1])
+        assert len(records) == 40  # post-close ticks were not logged
+        service.close()
+
+    def test_double_attach_refused(self, bundle_dir, tmp_path):
+        service, forecaster = make_forecaster(bundle_dir)
+        with StreamSnapshotter(forecaster, str(tmp_path / "a")):
+            with pytest.raises(RuntimeError, match="already has"):
+                StreamSnapshotter(forecaster, str(tmp_path / "b"))
+        service.close()
+
+
+# ----------------------------------------------------------------------
+# the headline: kill mid-stream, recover, finish — bitwise identical
+# ----------------------------------------------------------------------
+class TestKillRecoverParity:
+    @pytest.mark.parametrize("engine", ["module", "compiled"])
+    def test_recovered_replay_is_bitwise_identical(self, engine,
+                                                   bundle_dir, walk,
+                                                   tmp_path):
+        kill_at = 73  # not a checkpoint multiple: WAL replay must kick in
+        snapdir = str(tmp_path / "snaps")
+
+        service, reference = make_forecaster(bundle_dir, engine=engine)
+        uninterrupted = replay(reference, walk)
+        service.close()
+
+        service, victim = make_forecaster(bundle_dir, engine=engine)
+        StreamSnapshotter(victim, snapdir, every=13)
+        before = replay(victim, walk, max_ticks=kill_at)
+        # the crash: no snapshotter close, no final checkpoint — the
+        # only durable state is past snapshots + the flushed WAL
+        service.close()
+        del victim
+
+        service, recovered = make_forecaster(bundle_dir, engine=engine)
+        recoverer = StatefulRecoverer()
+        state = recoverer.recover(snapdir, recovered)
+        assert state.stage is RecoveryStages.SUCCEEDED
+        assert recoverer.history == [
+            RecoveryStages.INACTIVE, RecoveryStages.READING,
+            RecoveryStages.VERIFYING, RecoveryStages.IMPORTING,
+            RecoveryStages.SUCCEEDED]
+        assert state.detail["final_seq"] == kill_at
+        assert state.detail["replayed"] == kill_at - 65  # 5 × 13 = 65
+        after = replay(recovered, walk, first_tick=kill_at)
+        service.close()
+
+        merged = dict(before.forecasts)
+        merged.update(after.forecasts)
+        assert sorted(merged) == sorted(uninterrupted.forecasts)
+        for tick, forecast in uninterrupted.forecasts.items():
+            assert merged[tick].tobytes() == forecast.tobytes(), (
+                f"forecast at tick {tick} diverged after recovery")
+
+    def test_wal_bootstrap_without_snapshot(self, bundle_dir, walk,
+                                            tmp_path):
+        snapdir = str(tmp_path / "snaps")
+        service, reference = make_forecaster(bundle_dir)
+        uninterrupted = replay(reference, walk, max_ticks=50)
+        service.close()
+
+        # crash before the first checkpoint: only wal-0 exists
+        service, victim = make_forecaster(bundle_dir)
+        StreamSnapshotter(victim, snapdir, every=0)
+        before = replay(victim, walk, max_ticks=20)
+        service.close()
+        assert latest_snapshot(snapdir) is None
+
+        service, recovered = make_forecaster(bundle_dir)
+        state = recovered.restore_from(snapdir)
+        assert state.detail["replayed"] == 20
+        after = replay(recovered, walk, first_tick=20, max_ticks=30)
+        service.close()
+
+        merged = dict(before.forecasts)
+        merged.update(after.forecasts)
+        for tick, forecast in uninterrupted.forecasts.items():
+            assert merged[tick].tobytes() == forecast.tobytes()
+
+
+# ----------------------------------------------------------------------
+# fault injection: every stage fails closed
+# ----------------------------------------------------------------------
+def snapshot_after_replay(bundle_dir, walk, snapdir, *, every=13,
+                          ticks=60, **overrides):
+    service, forecaster = make_forecaster(bundle_dir, **overrides)
+    StreamSnapshotter(forecaster, snapdir, every=every)
+    replay(forecaster, walk, max_ticks=ticks)
+    service.close()
+
+
+class TestInjectedFaults:
+    def test_truncated_snapshot_fails_with_reason(self, bundle_dir, walk,
+                                                  tmp_path):
+        snapdir = str(tmp_path / "snaps")
+        snapshot_after_replay(bundle_dir, walk, snapdir)
+        path = latest_snapshot(snapdir)
+        truncate_file(path, keep_fraction=0.5)
+        service, forecaster = make_forecaster(bundle_dir)
+        recoverer = StatefulRecoverer()
+        state = recoverer.recover(path, forecaster, replay_wal=False)
+        assert state.stage is RecoveryStages.FAILED
+        assert "unreadable snapshot" in state.failure_reason
+        assert forecaster.keys() == []  # nothing was imported
+        service.close()
+
+    def test_flipped_digest_byte_fails_with_reason(self, bundle_dir, walk,
+                                                   tmp_path):
+        snapdir = str(tmp_path / "snaps")
+        snapshot_after_replay(bundle_dir, walk, snapdir)
+        flip_digest_byte(latest_snapshot(snapdir))
+        service, forecaster = make_forecaster(bundle_dir)
+        state = StatefulRecoverer().recover(snapdir, forecaster,
+                                            replay_wal=False)
+        assert state.stage is RecoveryStages.FAILED
+        assert "digest mismatch" in state.failure_reason
+        service.close()
+
+    def test_future_format_version_rejected(self, bundle_dir, walk,
+                                            tmp_path):
+        snapdir = str(tmp_path / "snaps")
+        snapshot_after_replay(bundle_dir, walk, snapdir)
+        path = latest_snapshot(snapdir)
+        arrays = load_arrays(path)
+        arrays["__format__"] = np.int64(99)
+        save_arrays(path, arrays)
+        service, forecaster = make_forecaster(bundle_dir)
+        state = StatefulRecoverer().recover(snapdir, forecaster,
+                                            replay_wal=False)
+        assert state.stage is RecoveryStages.FAILED
+        assert "format 99" in state.failure_reason
+        assert "not supported" in state.failure_reason
+        service.close()
+
+    def test_config_mismatch_rejected(self, bundle_dir, walk, tmp_path):
+        snapdir = str(tmp_path / "snaps")
+        snapshot_after_replay(bundle_dir, walk, snapdir, interval=1.0)
+        service, forecaster = make_forecaster(bundle_dir, interval=2.0)
+        recoverer = StatefulRecoverer()
+        with pytest.raises(RecoveryError, match="config mismatch"):
+            forecaster.restore_from(snapdir, recoverer=recoverer)
+        assert "interval" in recoverer.state().failure_reason
+        assert forecaster.keys() == []
+        service.close()
+
+    def test_artifact_digest_mismatch_rejected(self, bundle_dir, walk,
+                                               tmp_path):
+        snapdir = str(tmp_path / "snaps")
+        snapshot_after_replay(bundle_dir, walk, snapdir)
+        # same config (shapes/dataset identical) but different weights
+        other_dir = str(tmp_path / "other")
+        os.makedirs(other_dir)
+        make_bundle(other_dir, config=stream_config(seed=1234))
+        service, forecaster = make_forecaster(other_dir)
+        state = StatefulRecoverer().recover(snapdir, forecaster)
+        assert state.stage is RecoveryStages.FAILED
+        assert "artifact digest mismatch" in state.failure_reason
+        service.close()
+
+    def test_torn_wal_strict_fails_lax_trims(self, bundle_dir, walk,
+                                             tmp_path):
+        snapdir = str(tmp_path / "snaps")
+        snapshot_after_replay(bundle_dir, walk, snapdir, every=13,
+                              ticks=70)
+        tail_path = wal_paths(snapdir, 65)[0][1]
+        torn_tail(tail_path, drop_bytes=4)  # tick 70 mid-record
+
+        service, strict = make_forecaster(bundle_dir)
+        state = StatefulRecoverer().recover(snapdir, strict,
+                                            strict_wal=True)
+        assert state.stage is RecoveryStages.FAILED
+        assert "torn WAL record" in state.failure_reason
+        assert strict.keys() == []
+        service.close()
+
+        service, lax = make_forecaster(bundle_dir)
+        state = StatefulRecoverer().recover(snapdir, lax, strict_wal=False)
+        assert state.stage is RecoveryStages.SUCCEEDED
+        assert state.detail["final_seq"] == 69  # torn tick 70 trimmed
+        # the trimmed tick was never durable: re-feeding it and the rest
+        # restores full bitwise parity with an uninterrupted run
+        after = replay(lax, walk, first_tick=69)
+        service.close()
+        service, reference = make_forecaster(bundle_dir)
+        uninterrupted = replay(reference, walk)
+        service.close()
+        for tick, forecast in after.forecasts.items():
+            assert forecast.tobytes() == \
+                uninterrupted.forecasts[tick].tobytes()
+
+    def test_wal_gap_rejected(self, bundle_dir, walk, tmp_path):
+        snapdir = str(tmp_path / "snaps")
+        snapshot_after_replay(bundle_dir, walk, snapdir, every=13,
+                              ticks=70)
+        # drop a middle snapshot + its WAL continuation so the chain
+        # from the remaining older snapshot has a hole
+        os.unlink(latest_snapshot(snapdir))
+        os.unlink(wal_paths(snapdir, 52)[0][1])
+        service, forecaster = make_forecaster(bundle_dir)
+        state = StatefulRecoverer().recover(snapdir, forecaster)
+        assert state.stage is RecoveryStages.FAILED
+        assert "WAL gap" in state.failure_reason
+        service.close()
+
+    def test_kill_between_append_and_wal_fsync(self, bundle_dir, walk,
+                                               tmp_path):
+        snapdir = str(tmp_path / "snaps")
+        service, victim = make_forecaster(bundle_dir)
+        snapshotter = StreamSnapshotter(victim, snapdir, every=13)
+        replay(victim, walk, max_ticks=30)
+        durable = snapshotter._wal.durable_size
+        with inject("wal.fsync"):
+            with pytest.raises(InjectedCrash):
+                victim.append(("replay", "series"), 30.0, walk[30])
+        service.close()
+        # the record was written but never flushed: simulate the page
+        # loss by truncating to the last durable byte
+        tail_path = wal_paths(snapdir, 26)[0][1]
+        with open(tail_path, "r+b") as handle:
+            handle.truncate(durable)
+
+        service, recovered = make_forecaster(bundle_dir)
+        state = recovered.restore_from(snapdir)
+        assert state.detail["final_seq"] == 30  # tick 31 was not durable
+        after = replay(recovered, walk, first_tick=30)
+        service.close()
+        service, reference = make_forecaster(bundle_dir)
+        uninterrupted = replay(reference, walk)
+        service.close()
+        for tick, forecast in after.forecasts.items():
+            assert forecast.tobytes() == \
+                uninterrupted.forecasts[tick].tobytes()
+
+    def test_crash_during_snapshot_publish_leaves_no_file(self, bundle_dir,
+                                                          walk, tmp_path):
+        snapdir = str(tmp_path / "snaps")
+        service, forecaster = make_forecaster(bundle_dir)
+        snapshotter = StreamSnapshotter(forecaster, snapdir)
+        replay(forecaster, walk, max_ticks=40)
+        with inject("snapshot.publish"):
+            with pytest.raises(InjectedCrash):
+                snapshotter.checkpoint()
+        assert latest_snapshot(snapdir) is None  # atomic: all or nothing
+        # and the WAL still covers everything for bootstrap recovery
+        service.close()
+        service, recovered = make_forecaster(bundle_dir)
+        state = recovered.restore_from(snapdir)
+        assert state.detail["final_seq"] == 40
+        service.close()
+
+    def test_mid_import_crash_clears_state(self, bundle_dir, walk,
+                                           tmp_path):
+        snapdir = str(tmp_path / "snaps")
+        snapshot_after_replay(bundle_dir, walk, snapdir)
+        service, forecaster = make_forecaster(bundle_dir)
+        replay(forecaster, walk, max_ticks=10)  # pre-existing live state
+        recoverer = StatefulRecoverer()
+        with inject("recover.import"):
+            state = recoverer.recover(snapdir, forecaster)
+        assert state.stage is RecoveryStages.FAILED
+        assert "import failed" in state.failure_reason
+        assert "state cleared" in state.failure_reason
+        # fail closed: nothing partial survives, not even the old state
+        assert forecaster.keys() == []
+        assert forecaster.seq == 0
+        service.close()
+
+    def test_mid_replay_crash_clears_state(self, bundle_dir, walk,
+                                           tmp_path):
+        snapdir = str(tmp_path / "snaps")
+        snapshot_after_replay(bundle_dir, walk, snapdir, every=13,
+                              ticks=70)
+        service, forecaster = make_forecaster(bundle_dir)
+        recoverer = StatefulRecoverer()
+        with inject("recover.replay", at=3):
+            state = recoverer.recover(snapdir, forecaster)
+        assert state.stage is RecoveryStages.FAILED
+        assert "import failed" in state.failure_reason
+        assert forecaster.keys() == []
+        assert recoverer.history[-2:] == [
+            RecoveryStages.IMPORTING, RecoveryStages.FAILED]
+        service.close()
+
+    def test_missing_source_fails_in_reading(self, bundle_dir, tmp_path):
+        service, forecaster = make_forecaster(bundle_dir)
+        recoverer = StatefulRecoverer()
+        state = recoverer.recover(str(tmp_path / "nowhere"), forecaster)
+        assert state.stage is RecoveryStages.FAILED
+        assert "no snapshot found" in state.failure_reason
+        assert RecoveryStages.VERIFYING not in recoverer.history
+        service.close()
+
+
+# ----------------------------------------------------------------------
+# bare snapshot format details
+# ----------------------------------------------------------------------
+class TestSnapshotFormat:
+    def test_write_snapshot_appends_extension(self, bundle_dir, tmp_path):
+        service, forecaster = make_forecaster(bundle_dir)
+        path = write_snapshot(str(tmp_path / "bare"),
+                              forecaster.export_state())
+        assert path.endswith(".npz") and os.path.exists(path)
+        service.close()
+
+    def test_digest_covers_every_entry(self, bundle_dir, walk, tmp_path):
+        service, forecaster = make_forecaster(bundle_dir)
+        replay(forecaster, walk, max_ticks=40)
+        path = forecaster.snapshot_to(str(tmp_path / "snap.npz"))
+        arrays = load_arrays(path)
+        buffer_keys = [k for k in arrays if k.endswith("/buffer")]
+        arrays[buffer_keys[0]][0, 0] += 1.0  # corrupt one payload value
+        save_arrays(path, arrays)
+        service2, restored = make_forecaster(bundle_dir)
+        state = StatefulRecoverer().recover(path, restored,
+                                            replay_wal=False)
+        assert state.stage is RecoveryStages.FAILED
+        assert "digest mismatch" in state.failure_reason
+        service.close()
+        service2.close()

@@ -78,6 +78,69 @@ class TestSeriesStateInvariants:
             assert np.shares_memory(state.window(), state._buffer)
 
 
+class TestSeriesStateRoundTrip:
+    """``export_state`` → ``from_state`` is lossless, bitwise.
+
+    The durable snapshot layer (:mod:`repro.durable`) rides entirely on
+    this round trip: any drift here would silently break the
+    kill/recover replay-parity guarantee.
+    """
+
+    @given(ring_setups())
+    def test_export_import_preserves_everything(self, setup):
+        input_len, capacity, num_variables, rows, chunks = setup
+        state = SeriesState(input_len, num_variables, capacity=capacity)
+        for chunk in chunks:
+            if len(chunk) == 1:
+                state.append(chunk[0])
+            else:
+                state.extend(chunk)
+        restored = SeriesState.from_state(state.export_state())
+        assert restored.count == state.count
+        assert restored.ready == state.ready
+        assert restored.capacity == state.capacity
+        # Welford accumulators restore bitwise, not just approximately
+        assert restored.mean.tobytes() == state.mean.tobytes()
+        assert restored.std.tobytes() == state.std.tobytes()
+        assert restored._buffer.tobytes() == state._buffer.tobytes()
+        if state.ready:
+            assert (restored.window().tobytes()
+                    == state.window().tobytes())
+            tail_len = min(state.count, capacity)
+            assert (restored.tail(tail_len).tobytes()
+                    == state.tail(tail_len).tobytes())
+
+    @given(ring_setups())
+    def test_restored_state_evolves_identically(self, setup):
+        input_len, capacity, num_variables, rows, chunks = setup
+        state = SeriesState(input_len, num_variables, capacity=capacity)
+        for chunk in chunks:
+            state.extend(chunk)
+        restored = SeriesState.from_state(state.export_state())
+        # feeding both the same future is indistinguishable from never
+        # having serialized at all — bitwise, append by append
+        future = np.random.default_rng(1234).normal(
+            2.0, 3.0, size=(input_len + 3, num_variables))
+        for row in future:
+            state.append(row)
+            restored.append(row)
+            assert restored._buffer.tobytes() == state._buffer.tobytes()
+            assert restored.mean.tobytes() == state.mean.tobytes()
+            assert restored.std.tobytes() == state.std.tobytes()
+        assert restored.count == state.count
+
+    @given(ring_setups())
+    def test_export_is_a_snapshot_not_a_view(self, setup):
+        input_len, capacity, num_variables, rows, chunks = setup
+        state = SeriesState(input_len, num_variables, capacity=capacity)
+        for chunk in chunks:
+            state.extend(chunk)
+        exported = state.export_state()
+        before = exported["buffer"].copy()
+        state.append(np.full(num_variables, 1e9))
+        np.testing.assert_array_equal(exported["buffer"], before)
+
+
 @st.composite
 def window_shapes(draw):
     history = draw(st.integers(2, 32))
