@@ -48,6 +48,11 @@ METRICS: list[tuple[str, str, str]] = [
     ("perf_infer", "shape_churn.polymorphic_windows_per_s", "higher"),
     ("perf_infer", "precision_sweep.float32.windows_per_s_b1", "higher"),
     ("perf_infer", "precision_sweep.int8.windows_per_s_b64", "higher"),
+    ("scale_curve", "summary.w1_aggregate_ingest_ticks_per_s", "higher"),
+    ("scale_curve", "summary.w4_aggregate_ingest_ticks_per_s", "higher"),
+    ("scale_curve", "summary.ingest_speedup_4w", "higher"),
+    ("scale_curve", "summary.w4_aggregate_forecast_ticks_per_s", "higher"),
+    ("scale_curve", "summary.w4_p99_forecast_latency_s", "lower"),
 ]
 
 _HERE = os.path.dirname(os.path.abspath(__file__))

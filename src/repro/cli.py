@@ -33,6 +33,16 @@ versioned snapshots plus a per-tick WAL (``--snapshot-every N``
 checkpoints periodically, graceful shutdown and completion write a
 final one), and ``--resume`` recovers from them — forecasts after a
 kill/resume are bitwise identical to an uninterrupted run.
+
+``serve`` and ``stream`` scale out horizontally with ``--workers N``:
+N shared-nothing shard workers (each with its own model registry,
+micro-batch queue and drain thread) behind a deterministic
+consistent-hash router (``--shard-vnodes`` tunes ring balance).
+Sharding never changes a forecast — an N-worker replay is bitwise
+identical to the single-process run, so ``--verify`` holds at any
+worker count — and with ``--snapshot-dir`` each shard keeps its own
+``snapshot-{shard}-{seq}.npz``/WAL chain; ``--resume`` under a
+different ``--workers`` reshards the recovered state through the ring.
 """
 
 from __future__ import annotations
@@ -119,6 +129,37 @@ def _add_engine(parser: argparse.ArgumentParser) -> None:
                              "error exceeds the error budget")
 
 
+def _positive_int(flag: str):
+    """argparse type hook factory: fail fast on non-positive counts."""
+    def parse(value: str) -> int:
+        try:
+            parsed = int(value)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"{flag} expects an integer, got {value!r}")
+        if parsed < 1:
+            raise argparse.ArgumentTypeError(
+                f"{flag} must be >= 1, got {parsed}")
+        return parsed
+    return parse
+
+
+def _add_shard(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", default=None, metavar="N",
+                        type=_positive_int("--workers"),
+                        help="run the sharded runtime: N shared-nothing "
+                             "workers (each with its own model registry, "
+                             "micro-batch queue and drain thread) behind a "
+                             "consistent-hash router; forecasts are bitwise "
+                             "identical at any worker count (default: the "
+                             "single-process path)")
+    parser.add_argument("--shard-vnodes", default=None, metavar="V",
+                        type=_positive_int("--shard-vnodes"),
+                        help="virtual nodes per shard on the hash ring "
+                             "(balance knob, default 64; requires "
+                             "--workers > 1)")
+
+
 def _check_engine_flags(parser: argparse.ArgumentParser, args) -> None:
     """Cross-flag validation that argparse types cannot see."""
     if getattr(args, "precision", "float32") != "float32":
@@ -143,6 +184,39 @@ def _check_stream_flags(parser: argparse.ArgumentParser, args) -> None:
                        (getattr(args, "no_wal", False), "--no-wal")):
         if flag:
             parser.error(f"{name} requires --snapshot-dir")
+
+
+def _check_shard_flags(parser: argparse.ArgumentParser, args) -> None:
+    """Ring-shape flags only mean something with multiple shards."""
+    if getattr(args, "shard_vnodes", None) is not None:
+        workers = getattr(args, "workers", None)
+        if workers is None or workers < 2:
+            parser.error(
+                "--shard-vnodes requires --workers > 1 (the ring shape "
+                "only matters when keys split across shards)")
+
+
+def _make_service(args):
+    """The serving backend ``--workers`` selects.
+
+    Default (no ``--workers``): the single-process
+    :class:`ForecastService` — the legacy path, byte-for-byte.  With
+    ``--workers N``: a :class:`repro.shard.ShardRouter` over N
+    shared-nothing workers (``--workers 1`` exercises the routed path
+    with a degenerate one-shard ring).
+    """
+    from .serve import ForecastService
+
+    kwargs = dict(max_models=args.max_models, max_batch=args.max_batch,
+                  engine=args.engine, precision=args.precision,
+                  serve_threads=args.serve_threads)
+    if args.workers is None:
+        return ForecastService(args.artifacts, **kwargs)
+    from .shard import DEFAULT_VNODES, ShardRouter
+
+    return ShardRouter(args.artifacts, workers=args.workers,
+                       vnodes=args.shard_vnodes or DEFAULT_VNODES,
+                       **kwargs)
 
 
 def _scale(args) -> ExperimentScale:
@@ -301,17 +375,16 @@ def _graceful_shutdown(service, drain_actions: list | None = None):
 
 
 def _cmd_serve(args) -> int:
-    from .serve import ForecastService, read_artifact_info
+    from .serve import read_artifact_info
 
-    with ForecastService(args.artifacts, max_models=args.max_models,
-                         max_batch=args.max_batch,
-                         engine=args.engine, precision=args.precision,
-                         serve_threads=args.serve_threads) as service, \
-            _graceful_shutdown(service):
+    with _make_service(args) as service, _graceful_shutdown(service):
         keys = service.keys()
+        sharded = (f", {args.workers} shard worker(s)"
+                   if args.workers is not None else "")
         print(f"serving {len(keys)} artifact(s) from {args.artifacts} "
               f"[{service.engine} engine, {service.precision}, "
-              f"{service.serve_threads} drain thread(s)]: {sorted(keys)}")
+              f"{service.serve_threads} drain thread(s){sharded}]: "
+              f"{sorted(keys)}")
         key = service.resolve_key(args.dataset, args.horizon)
         if args.input:
             windows = np.load(args.input)
@@ -351,14 +424,10 @@ def _cmd_serve(args) -> int:
 
 
 def _cmd_stream(args) -> int:
-    from .serve import ForecastService
     from .stream import StreamingForecaster, replay, verify_parity
 
     drain_actions: list = []
-    with ForecastService(args.artifacts, max_models=args.max_models,
-                         max_batch=args.max_batch,
-                         engine=args.engine, precision=args.precision,
-                         serve_threads=args.serve_threads) as service, \
+    with _make_service(args) as service, \
             _graceful_shutdown(service, drain_actions):
         key = service.resolve_key(args.dataset, args.horizon)
         config = service.config_for(key)
@@ -370,15 +439,29 @@ def _cmd_stream(args) -> int:
         if args.raw:
             segment = data.scaler.inverse_transform(segment)
 
-        forecaster = StreamingForecaster(
-            service, dataset=key[0], horizon=key[1],
+        stream_options = dict(
             cadence=args.cadence, policy=args.policy,
             interval=float(data.frequency_minutes), raw_values=args.raw)
+        if args.workers is not None:
+            from .shard import ShardedStreamingForecaster
+
+            forecaster = ShardedStreamingForecaster(
+                service, dataset=key[0], horizon=key[1], **stream_options)
+            print(f"sharded streaming: {args.workers} worker(s), "
+                  f"{service.ring.vnodes} vnodes/shard")
+        else:
+            forecaster = StreamingForecaster(
+                service, dataset=key[0], horizon=key[1], **stream_options)
 
         if args.resume:
-            from .durable import RecoveryError, StatefulRecoverer
+            from .durable import RecoveryError
 
-            recoverer = StatefulRecoverer()
+            if args.workers is not None:
+                from .durable import ShardedRecoverer
+                recoverer = ShardedRecoverer()
+            else:
+                from .durable import StatefulRecoverer
+                recoverer = StatefulRecoverer()
             try:
                 # Torn trailing WAL record = an un-fsynced crash's
                 # signature; --resume trims it (that tick was never
@@ -392,18 +475,40 @@ def _cmd_stream(args) -> int:
                       file=sys.stderr)
                 return 1
             detail = recovered.detail
-            origin = detail.get("snapshot_path") or "WAL bootstrap"
+            if args.workers is not None:
+                origin = (f"{detail['source_shards']} shard chain(s)"
+                          + (" [resharded]" if detail["resharded"] else ""))
+            else:
+                origin = detail.get("snapshot_path") or "WAL bootstrap"
             print(f"recovered {detail['keys']} series at seq "
                   f"{detail['final_seq']} from {origin} "
                   f"(+{detail['replayed']} WAL tick(s) replayed)")
 
         snapshotter = None
         if args.snapshot_dir:
-            from .durable import StreamSnapshotter
+            if args.workers is not None:
+                from .durable import ShardedSnapshotter
 
-            snapshotter = StreamSnapshotter(
-                forecaster, args.snapshot_dir, every=args.snapshot_every,
-                wal=not args.no_wal)
+                snapshotter = ShardedSnapshotter(
+                    forecaster, args.snapshot_dir,
+                    every=args.snapshot_every, wal=not args.no_wal)
+                if args.resume and recovered.detail.get("resharded"):
+                    # Re-anchor the directory on the new ring: write
+                    # every target shard's chain first (until then the
+                    # old chains are the only durable copy), then drop
+                    # the superseded labels a later --resume would
+                    # otherwise merge back in as stale state.
+                    snapshotter.checkpoint()
+                    pruned = snapshotter.prune_foreign()
+                    if pruned:
+                        print(f"pruned {len(pruned)} superseded chain "
+                              f"file(s) from the previous shard layout")
+            else:
+                from .durable import StreamSnapshotter
+
+                snapshotter = StreamSnapshotter(
+                    forecaster, args.snapshot_dir,
+                    every=args.snapshot_every, wal=not args.no_wal)
             drain_actions.append(snapshotter.checkpoint)
 
         reports = []
@@ -428,7 +533,11 @@ def _cmd_stream(args) -> int:
             final_path = snapshotter.checkpoint()
             snapshotter.close()
             drain_actions.clear()
-            print(f"final snapshot written to {final_path}")
+            if isinstance(final_path, list):  # one snapshot per shard
+                print(f"final snapshots written: "
+                      f"{', '.join(final_path)}")
+            else:
+                print(f"final snapshot written to {final_path}")
 
         compared = None
         if args.verify:
@@ -546,6 +655,7 @@ def main(argv: list[str] | None = None) -> int:
                             "preserved)")
     serve.add_argument("--out", default=None, help="save forecasts (.npy)")
     _add_engine(serve)
+    _add_shard(serve)
     serve.set_defaults(func=_cmd_serve)
 
     stream = commands.add_parser(
@@ -588,8 +698,9 @@ def main(argv: list[str] | None = None) -> int:
                              "(written atomically)")
     stream.add_argument("--snapshot-dir", default=None, metavar="DIR",
                         help="durable state directory: snapshots "
-                             "(snapshot-{seq}.npz) plus a per-tick WAL; "
-                             "graceful shutdown and normal completion "
+                             "(snapshot-{seq}.npz; snapshot-{shard}-{seq} "
+                             "per worker under --workers) plus a per-tick "
+                             "WAL; graceful shutdown and normal completion "
                              "both write a final snapshot")
     stream.add_argument("--snapshot-every", type=int, default=0,
                         metavar="N",
@@ -606,6 +717,7 @@ def main(argv: list[str] | None = None) -> int:
                              "recovery then loses ticks after the last "
                              "snapshot")
     _add_engine(stream)
+    _add_shard(stream)
     stream.set_defaults(func=_cmd_stream)
 
     compare = commands.add_parser("compare",
@@ -618,6 +730,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     _check_engine_flags(parser, args)
     _check_stream_flags(parser, args)
+    _check_shard_flags(parser, args)
     return args.func(args)
 
 

@@ -21,10 +21,11 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 from typing import Callable
 
 import numpy as np
+
+from ..persist import arrays_digest, atomic_save_arrays
 
 __all__ = [
     "EmbeddingStore",
@@ -57,11 +58,9 @@ def embedding_fingerprint(**fields) -> str:
 
 def weights_digest(module) -> str:
     """Digest of a module's parameters (captures the frozen CLM weights)."""
-    digest = hashlib.sha256()
-    for name, parameter in sorted(module.named_parameters()):
-        digest.update(name.encode("utf-8"))
-        digest.update(np.ascontiguousarray(parameter.data).tobytes())
-    return digest.hexdigest()[:16]
+    state = {name: parameter.data
+             for name, parameter in module.named_parameters()}
+    return arrays_digest(state)[:16]
 
 
 class EmbeddingStore:
@@ -260,8 +259,6 @@ class EmbeddingStore:
         """Write the store to ``path`` (``.npz``), atomically."""
         if self._hd is None:
             raise RuntimeError("cannot save an empty EmbeddingStore")
-        directory = os.path.dirname(os.path.abspath(path))
-        os.makedirs(directory, exist_ok=True)
         payload = {
             "hd": self._hd,
             "has": self._has,
@@ -270,15 +267,7 @@ class EmbeddingStore:
         }
         if self._gt is not None:
             payload["gt"] = self._gt
-        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".npz.tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                np.savez(handle, **payload)
-            os.replace(tmp, path)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
+        atomic_save_arrays(path, payload)
         self.dirty = False
 
     @classmethod

@@ -20,6 +20,11 @@ without bending the repo's bitwise replay-parity guarantee:
   points + seeded file corrupters) used to prove the above.
 * :mod:`~repro.durable.atomic` — tmp + ``os.replace`` helpers for
   sidecar JSON/bytes files.
+* :mod:`~repro.durable.shard` — per-shard snapshot/WAL chains
+  (``snapshot-{shard}-{seq}.npz``) for the sharded runtime
+  (:mod:`repro.shard`), plus :class:`ShardedRecoverer` which restores
+  an N-shard universe fail-closed and reshards ``N → M`` by routing
+  recovered state through the target hash ring.
 
 Recovered forecasts are bitwise identical to an uninterrupted run: a
 replay killed at an arbitrary tick, recovered and finished produces
@@ -42,11 +47,15 @@ from .faults import (
 )
 from .keys import KeyCodecError, decode_key, encode_key
 from .recover import (
+    ChainVerificationError,
     RecoveryError,
     RecoveryStages,
     RecoveryState,
     StatefulRecoverer,
+    locate_chain,
+    verify_chain,
 )
+from .shard import ShardedRecoverer, ShardedSnapshotter
 from .snapshot import (
     SNAPSHOT_FORMAT_VERSION,
     SnapshotError,
@@ -54,11 +63,19 @@ from .snapshot import (
     latest_snapshot,
     load_snapshot_arrays,
     snapshot_paths,
+    snapshot_shards,
     state_from_arrays,
     verify_snapshot,
     write_snapshot,
 )
-from .wal import TickWAL, TornWALError, WALError, read_wal, wal_paths
+from .wal import (
+    TickWAL,
+    TornWALError,
+    WALError,
+    read_wal,
+    wal_paths,
+    wal_shards,
+)
 
 __all__ = [
     "atomic_write_bytes",
@@ -76,16 +93,22 @@ __all__ = [
     "KeyCodecError",
     "decode_key",
     "encode_key",
+    "ChainVerificationError",
     "RecoveryError",
     "RecoveryStages",
     "RecoveryState",
     "StatefulRecoverer",
+    "locate_chain",
+    "verify_chain",
+    "ShardedRecoverer",
+    "ShardedSnapshotter",
     "SNAPSHOT_FORMAT_VERSION",
     "SnapshotError",
     "StreamSnapshotter",
     "latest_snapshot",
     "load_snapshot_arrays",
     "snapshot_paths",
+    "snapshot_shards",
     "state_from_arrays",
     "verify_snapshot",
     "write_snapshot",
@@ -94,4 +117,5 @@ __all__ = [
     "WALError",
     "read_wal",
     "wal_paths",
+    "wal_shards",
 ]

@@ -1,48 +1,14 @@
-"""Atomic small-file writes shared by the durability layer.
+"""Atomic small-file writes (re-exported from :mod:`repro.persist`).
 
-The same tmp-file + ``os.replace`` staging idiom as
-:func:`repro.nn.serialization.save_arrays` (which the snapshotter uses
-for the ``.npz`` payload itself), generalized to arbitrary bytes/JSON so
-sidecar files — ``--stats-out`` summaries, recovery reports — can never
-be observed half-written either.
+Historically each layer carried its own tmp-file + ``os.replace``
+staging code; the shared implementation now lives in
+:mod:`repro.persist` and this module remains as the durable layer's
+import point for sidecar files — ``--stats-out`` summaries, recovery
+reports — which must never be observed half-written.
 """
 
 from __future__ import annotations
 
-import json
-import os
-import tempfile
+from ..persist import atomic_write_bytes, atomic_write_json
 
 __all__ = ["atomic_write_bytes", "atomic_write_json"]
-
-
-def atomic_write_bytes(path: str, payload: bytes,
-                       fsync: bool = False) -> None:
-    """Write ``payload`` to ``path`` so readers see all of it or none.
-
-    The bytes are staged in a temp file in the target's directory and
-    moved into place with ``os.replace`` (atomic on POSIX).  With
-    ``fsync=True`` the data is flushed to stable storage before the
-    rename, surviving machine (not just process) crashes.
-    """
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
-    try:
-        with os.fdopen(fd, "wb") as handle:
-            handle.write(payload)
-            if fsync:
-                handle.flush()
-                os.fsync(handle.fileno())
-        os.replace(tmp, path)
-    except BaseException:
-        if os.path.exists(tmp):
-            os.unlink(tmp)
-        raise
-
-
-def atomic_write_json(path: str, payload, *, fsync: bool = False,
-                      indent: int = 2) -> None:
-    """Atomically write ``payload`` as pretty-printed JSON."""
-    text = json.dumps(payload, indent=indent) + "\n"
-    atomic_write_bytes(path, text.encode("utf-8"), fsync=fsync)

@@ -35,10 +35,13 @@ from .faults import crashpoint
 from .wal import TornWALError, WALError, read_wal, wal_paths
 
 __all__ = [
+    "ChainVerificationError",
     "RecoveryError",
     "RecoveryStages",
     "RecoveryState",
     "StatefulRecoverer",
+    "locate_chain",
+    "verify_chain",
 ]
 
 #: Config fields that define *identity*: restoring across a difference
@@ -77,6 +80,157 @@ class RecoveryError(RuntimeError):
     def __init__(self, state: RecoveryState):
         super().__init__(state.failure_reason or "recovery failed")
         self.state = state
+
+
+class ChainVerificationError(RuntimeError):
+    """One snapshot/WAL chain cannot be read or verified.
+
+    Raised by :func:`locate_chain` / :func:`verify_chain`; recoverers
+    catch it and surface ``reason`` (verbatim) as ``failure_reason``
+    with ``detail`` merged into the recovery state.
+    """
+
+    def __init__(self, reason: str, **detail):
+        super().__init__(reason)
+        self.reason = reason
+        self.detail = detail
+
+
+# ----------------------------------------------------------------------
+# chain reading + verification (shared by single and sharded recovery)
+# ----------------------------------------------------------------------
+def locate_chain(source: str, *, shard: int | None = None,
+                 replay_wal: bool = True):
+    """Find one shard's snapshot chain → ``(directory, path, arrays)``.
+
+    ``source`` may be a snapshot file or a directory (the shard's
+    newest snapshot is used; with none present but a WAL chain
+    available and ``replay_wal`` set, ``(directory, None, None)`` is
+    returned for a WAL-only bootstrap).  This is the recoverer's
+    *reading* stage: failures raise :class:`ChainVerificationError`.
+    """
+    if os.path.isdir(source):
+        directory = source
+        snapshot_path = latest_snapshot(directory, shard=shard)
+    else:
+        directory = os.path.dirname(os.path.abspath(source))
+        snapshot_path = source
+        if not os.path.exists(snapshot_path):
+            raise ChainVerificationError(
+                f"no snapshot found at {snapshot_path!r}")
+    arrays = None
+    if snapshot_path is not None:
+        try:
+            arrays = load_snapshot_arrays(snapshot_path)
+        except SnapshotError as error:
+            raise ChainVerificationError(
+                str(error), snapshot_path=snapshot_path) from error
+    elif not replay_wal or not wal_paths(directory, 0, shard=shard):
+        raise ChainVerificationError(f"no snapshot found in {directory!r}")
+    return directory, snapshot_path, arrays
+
+
+def verify_chain(directory: str, snapshot_path, arrays, forecaster, *,
+                 shard: int | None = None, replay_wal: bool = True,
+                 strict_wal: bool = True):
+    """Verify one chain end to end → ``(state, records, snapshot_seq)``.
+
+    Checks the snapshot's format/digest/config-identity/artifact
+    provenance and the contiguity of the WAL chain after it, without
+    touching any live state (the recoverer's *verifying* stage).
+    ``state`` is ``None`` for a WAL-only bootstrap; ``records`` are the
+    verified ticks to replay.  Failures raise
+    :class:`ChainVerificationError` with the canonical messages.
+    """
+    live_config = forecaster.durable_config()
+    state = None
+    snapshot_seq = 0
+    wal_config = None
+    wal_digest = None
+    if arrays is not None:
+        try:
+            config, meta = verify_snapshot(arrays, snapshot_path)
+            state = state_from_arrays(arrays, config, meta)
+        except SnapshotError as error:
+            raise ChainVerificationError(
+                str(error), snapshot_path=snapshot_path) from error
+        mismatch = _config_mismatch(config, live_config)
+        if mismatch is not None:
+            raise ChainVerificationError(
+                mismatch, snapshot_path=snapshot_path)
+        reason = _artifact_mismatch(meta.get("artifact_digest"), forecaster)
+        if reason is not None:
+            raise ChainVerificationError(
+                reason, snapshot_path=snapshot_path)
+        snapshot_seq = int(state["seq"])
+
+    records: list = []
+    if replay_wal:
+        segments = wal_paths(directory, snapshot_seq, shard=shard)
+        for base, path in segments:
+            try:
+                header, parsed = read_wal(path)
+            except TornWALError as torn:
+                if strict_wal:
+                    raise ChainVerificationError(
+                        f"torn WAL record: {torn}", wal_path=path) from torn
+                parsed = torn.records
+                header = None if not parsed else {"base_seq": base}
+                records.extend(parsed)
+                break  # nothing durable can follow a torn tail
+            except WALError as error:
+                raise ChainVerificationError(
+                    f"corrupt WAL segment: {error}", wal_path=path) from error
+            if state is None and wal_config is None:
+                wal_config = header.get("config") or None
+                wal_digest = header.get("artifact_digest")
+            records.extend(parsed)
+        expected = snapshot_seq + 1
+        for record in records:
+            if record["seq"] != expected:
+                raise ChainVerificationError(
+                    f"WAL gap: expected seq {expected}, found "
+                    f"{record['seq']} — the log chain is incomplete")
+            expected += 1
+        if state is None:
+            # Bootstrapping from the WAL alone: the header carries
+            # the writing process's config + artifact digest.
+            if wal_config:
+                mismatch = _config_mismatch(wal_config, live_config)
+                if mismatch is not None:
+                    raise ChainVerificationError(mismatch)
+            reason = _artifact_mismatch(wal_digest, forecaster)
+            if reason is not None:
+                raise ChainVerificationError(reason)
+    return state, records, snapshot_seq
+
+
+def _config_mismatch(stored: dict, live: dict) -> str | None:
+    for fieldname in STRICT_CONFIG_FIELDS:
+        if fieldname not in stored:
+            return (f"config mismatch: snapshot records no "
+                    f"{fieldname!r}")
+        if stored[fieldname] != live[fieldname]:
+            return (f"config mismatch: {fieldname} is "
+                    f"{stored[fieldname]!r} in the snapshot but "
+                    f"{live[fieldname]!r} in this forecaster")
+    return None
+
+
+def _artifact_mismatch(stored_digest, forecaster) -> str | None:
+    if stored_digest is None:
+        return None  # written without provenance; nothing to check
+    from ..serve.artifact import ArtifactError, read_artifact_digest
+    try:
+        live = read_artifact_digest(
+            forecaster.service.path_for(forecaster.model_key))
+    except (KeyError, ArtifactError) as error:
+        return (f"artifact digest unverifiable: {error}")
+    if live != stored_digest:
+        return ("artifact digest mismatch: the snapshot was taken "
+                "against different student weights than this "
+                "service is serving")
+    return None
 
 
 class StatefulRecoverer:
@@ -131,85 +285,20 @@ class StatefulRecoverer:
         """
         # ---- reading ------------------------------------------------
         self._enter(RecoveryStages.READING)
-        if os.path.isdir(source):
-            directory = source
-            snapshot_path = latest_snapshot(directory)
-        else:
-            directory = os.path.dirname(os.path.abspath(source))
-            snapshot_path = source
-            if not os.path.exists(snapshot_path):
-                return self._fail(
-                    f"no snapshot found at {snapshot_path!r}")
-        arrays = None
-        if snapshot_path is not None:
-            try:
-                arrays = load_snapshot_arrays(snapshot_path)
-            except SnapshotError as error:
-                return self._fail(str(error), snapshot_path=snapshot_path)
-        elif not replay_wal or not wal_paths(directory, 0):
-            return self._fail(f"no snapshot found in {directory!r}")
+        try:
+            directory, snapshot_path, arrays = locate_chain(
+                source, replay_wal=replay_wal)
+        except ChainVerificationError as error:
+            return self._fail(error.reason, **error.detail)
 
         # ---- verifying ----------------------------------------------
         self._enter(RecoveryStages.VERIFYING)
-        live_config = forecaster.durable_config()
-        state = None
-        snapshot_seq = 0
-        wal_config = None
-        wal_digest = None
-        if arrays is not None:
-            try:
-                config, meta = verify_snapshot(arrays, snapshot_path)
-                state = state_from_arrays(arrays, config, meta)
-            except SnapshotError as error:
-                return self._fail(str(error), snapshot_path=snapshot_path)
-            mismatch = self._config_mismatch(config, live_config)
-            if mismatch is not None:
-                return self._fail(mismatch, snapshot_path=snapshot_path)
-            reason = self._artifact_mismatch(
-                meta.get("artifact_digest"), forecaster)
-            if reason is not None:
-                return self._fail(reason, snapshot_path=snapshot_path)
-            snapshot_seq = int(state["seq"])
-
-        records: list = []
-        if replay_wal:
-            segments = wal_paths(directory, snapshot_seq)
-            for base, path in segments:
-                try:
-                    header, parsed = read_wal(path)
-                except TornWALError as torn:
-                    if strict_wal:
-                        return self._fail(
-                            f"torn WAL record: {torn}", wal_path=path)
-                    parsed = torn.records
-                    header = None if not parsed else {"base_seq": base}
-                    records.extend(parsed)
-                    break  # nothing durable can follow a torn tail
-                except WALError as error:
-                    return self._fail(
-                        f"corrupt WAL segment: {error}", wal_path=path)
-                if state is None and wal_config is None:
-                    wal_config = header.get("config") or None
-                    wal_digest = header.get("artifact_digest")
-                records.extend(parsed)
-            expected = snapshot_seq + 1
-            for record in records:
-                if record["seq"] != expected:
-                    return self._fail(
-                        f"WAL gap: expected seq {expected}, found "
-                        f"{record['seq']} — the log chain is incomplete")
-                expected += 1
-            if state is None:
-                # Bootstrapping from the WAL alone: the header carries
-                # the writing process's config + artifact digest.
-                if wal_config:
-                    mismatch = self._config_mismatch(
-                        wal_config, live_config)
-                    if mismatch is not None:
-                        return self._fail(mismatch)
-                reason = self._artifact_mismatch(wal_digest, forecaster)
-                if reason is not None:
-                    return self._fail(reason)
+        try:
+            state, records, snapshot_seq = verify_chain(
+                directory, snapshot_path, arrays, forecaster,
+                replay_wal=replay_wal, strict_wal=strict_wal)
+        except ChainVerificationError as error:
+            return self._fail(error.reason, **error.detail)
 
         # ---- importing ----------------------------------------------
         self._enter(RecoveryStages.IMPORTING)
@@ -234,34 +323,3 @@ class StatefulRecoverer:
             snapshot_path=snapshot_path, snapshot_seq=snapshot_seq,
             replayed=len(records), final_seq=forecaster.seq,
             keys=len(forecaster.keys()))
-
-    # ------------------------------------------------------------------
-    # verification helpers
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _config_mismatch(stored: dict, live: dict) -> str | None:
-        for fieldname in STRICT_CONFIG_FIELDS:
-            if fieldname not in stored:
-                return (f"config mismatch: snapshot records no "
-                        f"{fieldname!r}")
-            if stored[fieldname] != live[fieldname]:
-                return (f"config mismatch: {fieldname} is "
-                        f"{stored[fieldname]!r} in the snapshot but "
-                        f"{live[fieldname]!r} in this forecaster")
-        return None
-
-    @staticmethod
-    def _artifact_mismatch(stored_digest, forecaster) -> str | None:
-        if stored_digest is None:
-            return None  # written without provenance; nothing to check
-        from ..serve.artifact import ArtifactError, read_artifact_digest
-        try:
-            live = read_artifact_digest(
-                forecaster.service.path_for(forecaster.model_key))
-        except (KeyError, ArtifactError) as error:
-            return (f"artifact digest unverifiable: {error}")
-        if live != stored_digest:
-            return ("artifact digest mismatch: the snapshot was taken "
-                    "against different student weights than this "
-                    "service is serving")
-        return None

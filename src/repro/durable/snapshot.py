@@ -25,16 +25,16 @@ and every-N-ticks — plus an optional append-only tick WAL
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 
 import numpy as np
 
 from ..nn.serialization import load_arrays, save_arrays
+from ..persist import arrays_digest
 from .faults import crashpoint
 from .keys import decode_key, encode_key
-from .wal import TickWAL
+from .wal import TickWAL, parse_shard_stem
 
 __all__ = [
     "SNAPSHOT_FORMAT_VERSION",
@@ -43,6 +43,7 @@ __all__ = [
     "latest_snapshot",
     "load_snapshot_arrays",
     "snapshot_paths",
+    "snapshot_shards",
     "state_from_arrays",
     "verify_snapshot",
     "write_snapshot",
@@ -58,26 +59,23 @@ class SnapshotError(RuntimeError):
 
 def _snapshot_digest(payload: dict) -> str:
     """sha256 over every entry except ``__digest__`` (artifact idiom)."""
-    digest = hashlib.sha256()
-    for name in sorted(payload):
-        if name == "__digest__":
-            continue
-        digest.update(name.encode("utf-8"))
-        digest.update(np.ascontiguousarray(payload[name]).tobytes())
-    return digest.hexdigest()
+    return arrays_digest(payload, skip=("__digest__",))
 
 
 # ----------------------------------------------------------------------
 # writing
 # ----------------------------------------------------------------------
 def write_snapshot(path: str, state: dict, *, artifact_digest=None,
-                   engine=None, precision=None) -> str:
+                   engine=None, precision=None,
+                   shard: int | None = None) -> str:
     """Serialize an exported forecaster state to ``path`` atomically.
 
     ``state`` is :meth:`StreamingForecaster.export_state` output;
     ``artifact_digest``/``engine``/``precision`` stamp the serving
-    context so recovery can refuse incompatible imports.  Returns the
-    written path (``.npz`` appended when missing).
+    context so recovery can refuse incompatible imports, and ``shard``
+    records which shard of a sharded runtime produced the state (None
+    for a single-process run).  Returns the written path (``.npz``
+    appended when missing).
     """
     if not path.endswith(".npz"):
         path = path + ".npz"
@@ -133,6 +131,7 @@ def write_snapshot(path: str, state: dict, *, artifact_digest=None,
         "artifact_digest": artifact_digest,
         "engine": engine,
         "precision": precision,
+        "shard": shard,
         "stream_stats": state["stream_stats"],
         "service_stats": state["service_stats"],
         "entries": meta_entries,
@@ -237,25 +236,45 @@ def state_from_arrays(arrays: dict, config: dict, meta: dict) -> dict:
 # ----------------------------------------------------------------------
 # directory layout
 # ----------------------------------------------------------------------
-def snapshot_paths(directory: str):
-    """Sorted ``[(seq, path)]`` of ``snapshot-{seq}.npz`` files."""
+def snapshot_paths(directory: str, shard: int | None = None):
+    """Sorted ``[(seq, path)]`` of one shard's snapshot files.
+
+    ``shard`` selects ``snapshot-{shard}-{seq}.npz`` names; ``None``
+    selects the legacy unlabeled ``snapshot-{seq}.npz`` names a
+    single-process run writes.
+    """
     if not os.path.isdir(directory):
         return []
     found = []
     for name in os.listdir(directory):
         if not (name.startswith("snapshot-") and name.endswith(".npz")):
             continue
-        stem = name[len("snapshot-"):-len(".npz")]
-        if not stem.isdigit():
+        parsed = parse_shard_stem(name[len("snapshot-"):-len(".npz")])
+        if parsed is None or parsed[0] != shard:
             continue
-        found.append((int(stem), os.path.join(directory, name)))
+        found.append((parsed[1], os.path.join(directory, name)))
     found.sort()
     return found
 
 
-def latest_snapshot(directory: str) -> str | None:
+def snapshot_shards(directory: str) -> list:
+    """Distinct shard labels with snapshots (``None`` = unlabeled)."""
+    if not os.path.isdir(directory):
+        return []
+    labels = set()
+    for name in os.listdir(directory):
+        if not (name.startswith("snapshot-") and name.endswith(".npz")):
+            continue
+        parsed = parse_shard_stem(name[len("snapshot-"):-len(".npz")])
+        if parsed is not None:
+            labels.add(parsed[0])
+    ordered = sorted(label for label in labels if label is not None)
+    return ([None] if None in labels else []) + ordered
+
+
+def latest_snapshot(directory: str, shard: int | None = None) -> str | None:
     """Path of the highest-sequence snapshot in ``directory``, if any."""
-    found = snapshot_paths(directory)
+    found = snapshot_paths(directory, shard=shard)
     return found[-1][1] if found else None
 
 
@@ -286,19 +305,29 @@ class StreamSnapshotter:
     keep:
         How many recent snapshots to retain; older snapshots and WAL
         segments no recoverable chain needs are pruned at checkpoint.
+    shard:
+        Shard label for a sharded runtime — files become
+        ``snapshot-{shard}-{seq}.npz`` / ``wal-{shard}-{seq}.log`` and
+        pruning only ever touches this shard's files, so N workers can
+        checkpoint into one directory without clobbering each other.
+        ``None`` (default) keeps the legacy single-process names.
     """
 
     def __init__(self, forecaster, directory: str, *, every: int = 0,
-                 wal: bool = True, fsync: bool = False, keep: int = 3):
+                 wal: bool = True, fsync: bool = False, keep: int = 3,
+                 shard: int | None = None):
         if every < 0:
             raise ValueError("every must be >= 0 (0 = on-demand only)")
         if keep < 1:
             raise ValueError("keep must be >= 1")
+        if shard is not None and int(shard) < 0:
+            raise ValueError("shard must be a non-negative label")
         self.forecaster = forecaster
         self.directory = directory
         self.every = int(every)
         self.fsync = bool(fsync)
         self.keep = int(keep)
+        self.shard = None if shard is None else int(shard)
         self.wal_enabled = bool(wal)
         os.makedirs(directory, exist_ok=True)
         from ..serve.artifact import ArtifactError, read_artifact_digest
@@ -317,8 +346,15 @@ class StreamSnapshotter:
                 self._wal = self._open_wal(forecaster._seq)
             forecaster._snapshotter = self
 
+    def _label(self, kind: str, seq: int, extension: str) -> str:
+        if self.shard is None:
+            return os.path.join(self.directory,
+                                f"{kind}-{seq:012d}{extension}")
+        return os.path.join(self.directory,
+                            f"{kind}-{self.shard}-{seq:012d}{extension}")
+
     def _open_wal(self, base_seq: int) -> TickWAL:
-        path = os.path.join(self.directory, f"wal-{base_seq:012d}.log")
+        path = self._label("wal", base_seq, ".log")
         return TickWAL(path, base_seq,
                        config=self.forecaster.durable_config(),
                        artifact_digest=self._artifact_digest,
@@ -343,12 +379,12 @@ class StreamSnapshotter:
         with self.forecaster._lock:
             state = self.forecaster.export_state()
             seq = int(state["seq"])
-            path = os.path.join(self.directory,
-                                f"snapshot-{seq:012d}.npz")
+            path = self._label("snapshot", seq, ".npz")
             path = write_snapshot(
                 path, state, artifact_digest=self._artifact_digest,
                 engine=self.forecaster.service.engine,
-                precision=self.forecaster.service.precision)
+                precision=self.forecaster.service.precision,
+                shard=self.shard)
             if self._wal is not None:
                 self._wal.close()
                 self._wal = self._open_wal(seq)
@@ -358,7 +394,7 @@ class StreamSnapshotter:
 
     def _prune(self) -> None:
         """Drop snapshots beyond ``keep`` and WAL segments before them."""
-        snapshots = snapshot_paths(self.directory)
+        snapshots = snapshot_paths(self.directory, shard=self.shard)
         if len(snapshots) <= self.keep:
             return
         stale, kept = snapshots[:-self.keep], snapshots[-self.keep:]
@@ -372,7 +408,7 @@ class StreamSnapshotter:
         # cover ticks some kept snapshot already contains.
         oldest_kept = kept[0][0]
         from .wal import wal_paths
-        for base, path in wal_paths(self.directory):
+        for base, path in wal_paths(self.directory, shard=self.shard):
             if base < oldest_kept:
                 try:
                     os.unlink(path)

@@ -43,8 +43,10 @@ __all__ = [
     "TickWAL",
     "TornWALError",
     "WALError",
+    "parse_shard_stem",
     "read_wal",
     "wal_paths",
+    "wal_shards",
 ]
 
 WAL_FORMAT_VERSION = 1
@@ -234,19 +236,55 @@ def read_wal(path: str):
     return header, records
 
 
-def wal_paths(directory: str, start_seq: int = 0):
-    """Sorted ``[(base_seq, path)]`` of WAL segments with base >= start."""
+def parse_shard_stem(stem: str):
+    """Split a durable file stem into ``(shard, seq)``.
+
+    ``"000000000012"`` (legacy single-process name) → ``(None, 12)``;
+    ``"3-000000000012"`` (shard-labeled name) → ``(3, 12)``; anything
+    else → ``None`` (not a durable file of ours).
+    """
+    if stem.isdigit():
+        return None, int(stem)
+    shard_part, sep, seq_part = stem.partition("-")
+    if sep and shard_part.isdigit() and seq_part.isdigit():
+        return int(shard_part), int(seq_part)
+    return None
+
+
+def wal_paths(directory: str, start_seq: int = 0,
+              shard: int | None = None):
+    """Sorted ``[(base_seq, path)]`` of WAL segments with base >= start.
+
+    ``shard`` selects one shard's segments (``wal-{shard}-{base}.log``);
+    ``None`` selects the legacy unlabeled ``wal-{base}.log`` names a
+    single-process run writes.
+    """
     if not os.path.isdir(directory):
         return []
     found = []
     for name in os.listdir(directory):
         if not (name.startswith("wal-") and name.endswith(".log")):
             continue
-        stem = name[len("wal-"):-len(".log")]
-        if not stem.isdigit():
+        parsed = parse_shard_stem(name[len("wal-"):-len(".log")])
+        if parsed is None or parsed[0] != shard:
             continue
-        base = int(stem)
+        base = parsed[1]
         if base >= start_seq:
             found.append((base, os.path.join(directory, name)))
     found.sort()
     return found
+
+
+def wal_shards(directory: str) -> list:
+    """Distinct shard labels with WAL segments (``None`` = unlabeled)."""
+    if not os.path.isdir(directory):
+        return []
+    labels = set()
+    for name in os.listdir(directory):
+        if not (name.startswith("wal-") and name.endswith(".log")):
+            continue
+        parsed = parse_shard_stem(name[len("wal-"):-len(".log")])
+        if parsed is not None:
+            labels.add(parsed[0])
+    ordered = sorted(label for label in labels if label is not None)
+    return ([None] if None in labels else []) + ordered

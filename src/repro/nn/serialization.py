@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-import os
-import tempfile
-
 import numpy as np
 
+from ..persist import atomic_save_arrays
 from .module import Module
 
 __all__ = ["save_module", "load_module", "save_arrays", "load_arrays"]
@@ -16,23 +14,12 @@ def save_arrays(path: str, arrays: dict[str, np.ndarray]) -> None:
     """Atomically write a named-array mapping to ``path`` (npz).
 
     The archive is staged in a temp file next to the target and moved
-    into place, so readers never observe a half-written bundle.  Like
-    ``np.savez``, a missing ``.npz`` extension is appended — keeping
-    save and load paths symmetric.
+    into place (see :func:`repro.persist.atomic_save_arrays`), so
+    readers never observe a half-written bundle.  Like ``np.savez``, a
+    missing ``.npz`` extension is appended — keeping save and load
+    paths symmetric.
     """
-    if not path.endswith(".npz"):
-        path = path + ".npz"
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".npz.tmp")
-    try:
-        with os.fdopen(fd, "wb") as handle:
-            np.savez(handle, **arrays)
-        os.replace(tmp, path)
-    except BaseException:
-        if os.path.exists(tmp):
-            os.unlink(tmp)
-        raise
+    atomic_save_arrays(path, arrays)
 
 
 def load_arrays(path: str) -> dict[str, np.ndarray]:

@@ -20,9 +20,10 @@ from .artifact import (
     read_artifact_info,
     save_student_artifact,
 )
-from .service import ForecastService, ServiceStats
+from .service import ForecastService, ServiceStats, scan_artifact_dir
 
 __all__ = [
+    "scan_artifact_dir",
     "ARTIFACT_FORMAT_VERSION",
     "ArtifactError",
     "StudentArtifact",

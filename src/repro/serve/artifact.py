@@ -20,7 +20,6 @@ Layout of the archive::
 
 from __future__ import annotations
 
-import hashlib
 import json
 import zipfile
 from dataclasses import dataclass, field
@@ -31,6 +30,7 @@ from ..core.config import TimeKDConfig
 from ..core.student import StudentModel
 from ..data.scaler import StandardScaler
 from ..nn.serialization import load_arrays, save_arrays
+from ..persist import arrays_digest
 
 __all__ = [
     "ARTIFACT_FORMAT_VERSION",
@@ -54,11 +54,9 @@ class ArtifactError(RuntimeError):
 
 
 def _weights_digest(state: dict[str, np.ndarray]) -> str:
-    digest = hashlib.sha256()
-    for name in sorted(state):
-        digest.update(name.encode("utf-8"))
-        digest.update(np.ascontiguousarray(state[name]).tobytes())
-    return digest.hexdigest()
+    # The shared name+bytes convention (repro.persist) — the same
+    # digest the snapshot layer stamps, so provenance checks compose.
+    return arrays_digest(state)
 
 
 @dataclass

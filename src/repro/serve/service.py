@@ -36,7 +36,31 @@ from .artifact import (
     read_artifact_info,
 )
 
-__all__ = ["ForecastService", "ServiceStats"]
+__all__ = ["ForecastService", "ServiceStats", "scan_artifact_dir"]
+
+
+def scan_artifact_dir(artifact_dir: str) -> dict[tuple[str, int], str]:
+    """Index a directory of ``.npz`` student bundles by ``(dataset, horizon)``.
+
+    Two bundles claiming the same key keep the lexicographically last
+    path (stable, and re-scans pick up replacements); unreadable files
+    are skipped — a half-written bundle must not take a service down.
+    Shared by :class:`ForecastService` and the shard router, so every
+    worker of a sharded runtime sees the identical registry.
+    """
+    paths: dict[tuple[str, int], str] = {}
+    if os.path.isdir(artifact_dir):
+        for name in sorted(os.listdir(artifact_dir)):
+            if not name.endswith(".npz"):
+                continue
+            path = os.path.join(artifact_dir, name)
+            try:
+                config, metadata = read_artifact_info(path)
+            except ArtifactError:
+                continue
+            key = (str(metadata.get("dataset", "")), config.horizon)
+            paths[key] = path
+    return paths
 
 
 @dataclass
@@ -88,6 +112,30 @@ class ServiceStats:
             "requests", "batches", "served", "max_coalesced",
             "loads", "evictions") if name in payload}
         return cls(**fields)
+
+    @classmethod
+    def merge(cls, parts: list["ServiceStats"]) -> "ServiceStats":
+        """Fold per-shard counters into one cluster view.
+
+        Additive fields sum; ``max_coalesced`` takes the maximum (it is
+        a high-water mark, not a count).  The result reads exactly like
+        a single service's stats, so monitoring does not care whether a
+        deployment is sharded.
+        """
+        merged = cls()
+        for part in parts:
+            merged.requests += part.requests
+            merged.batches += part.batches
+            merged.served += part.served
+            merged.loads += part.loads
+            merged.evictions += part.evictions
+            merged.plan_hits += part.plan_hits
+            merged.plan_misses += part.plan_misses
+            merged.plan_evictions += part.plan_evictions
+            merged.plan_rebuilds += part.plan_rebuilds
+            merged.max_coalesced = max(merged.max_coalesced,
+                                       part.max_coalesced)
+        return merged
 
 
 class _Request:
@@ -197,23 +245,8 @@ class ForecastService:
     # registry
     # ------------------------------------------------------------------
     def scan(self) -> dict[tuple[str, int], str]:
-        """(Re)index the artifact directory; returns the key → path map.
-
-        Unreadable files are skipped — a half-written bundle must not
-        take the service down.
-        """
-        paths: dict[tuple[str, int], str] = {}
-        if os.path.isdir(self.artifact_dir):
-            for name in sorted(os.listdir(self.artifact_dir)):
-                if not name.endswith(".npz"):
-                    continue
-                path = os.path.join(self.artifact_dir, name)
-                try:
-                    config, metadata = read_artifact_info(path)
-                except ArtifactError:
-                    continue
-                key = (str(metadata.get("dataset", "")), config.horizon)
-                paths[key] = path
+        """(Re)index the artifact directory; returns the key → path map."""
+        paths = scan_artifact_dir(self.artifact_dir)
         with self._lock:
             self._paths = paths
         return dict(paths)

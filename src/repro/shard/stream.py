@@ -1,0 +1,212 @@
+"""Sharded streaming front end: route ticks, keep the parity contract.
+
+:class:`ShardedStreamingForecaster` looks like one
+:class:`~repro.stream.forecaster.StreamingForecaster` but owns N of
+them — one per :class:`~repro.shard.worker.ShardWorker`, each with its
+own ring buffers, drift monitors, ingest lock, sequence counter and
+micro-batch queue.  Ticks route by stream key through the router's
+:class:`~repro.shard.ring.HashRing`, so a key's entire history lives on
+exactly one shard and per-key ordering needs no cross-shard locking.
+Drain is naturally parallel: each shard's service thread coalesces and
+executes its own batches, so N workers give N concurrent student
+forwards without sharing a lock.
+
+**Why sharding cannot change a forecast.**  The per-worker engine is
+the unmodified :class:`StreamingForecaster`; routing only decides
+*which* instance ingests a tick.  A key's window content, cadence
+boundaries and drift state depend only on that key's own ticks — which
+all land on one shard, in arrival order — and the student forward is
+batch-independent, so what other keys share the shard's batches is
+value-irrelevant.  Hence an N-worker replay is **bitwise identical** to
+the 1-worker (and the unsharded) run, which is exactly what
+``--verify`` asserts end to end.
+"""
+
+from __future__ import annotations
+
+from ..stream.forecaster import StreamingForecaster, StreamStats
+from .router import ShardRouter
+
+__all__ = ["ShardedStreamingForecaster"]
+
+
+class ShardedStreamingForecaster:
+    """Per-key routing over per-shard :class:`StreamingForecaster`\\ s.
+
+    Parameters
+    ----------
+    router:
+        The :class:`ShardRouter` whose workers host the shards.  The
+        router is adopted, not copied — ``close()`` closes it.
+    dataset / horizon:
+        Model registry key, resolved like the unsharded forecaster.
+    **forecaster_kwargs:
+        Forwarded verbatim to every per-shard
+        :class:`StreamingForecaster` (cadence, gap policy, drift
+        parameters, ...), so all shards run the identical policy.
+    """
+
+    def __init__(self, router: ShardRouter, dataset: str | None = None,
+                 horizon: int | None = None, **forecaster_kwargs):
+        self.router = router
+        self.shards: list[StreamingForecaster] = []
+        for worker in router.workers:
+            forecaster = StreamingForecaster(
+                worker.service, dataset, horizon, **forecaster_kwargs)
+            worker.forecaster = forecaster
+            self.shards.append(forecaster)
+        template = self.shards[0]
+        self.model_key = template.model_key
+        self.input_len = template.input_len
+        self.horizon_len = template.horizon_len
+        self.num_variables = template.num_variables
+        self.cadence = template.cadence
+        self.raw_values = template.raw_values
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def shard_for(self, key) -> int:
+        """Ring assignment of a stream key (stable across processes)."""
+        return self.router.ring.shard_for(key)
+
+    def _owner(self, key) -> StreamingForecaster:
+        return self.shards[self.shard_for(key)]
+
+    # ------------------------------------------------------------------
+    # StreamingForecaster surface
+    # ------------------------------------------------------------------
+    def append(self, key, timestamp, values):
+        """Ingest one tick on the owning shard (same contract as the
+        unsharded :meth:`StreamingForecaster.append`)."""
+        return self._owner(key).append(key, timestamp, values)
+
+    def forecast(self, key):
+        return self._owner(key).forecast(key)
+
+    def latest(self, key, wait: bool = True):
+        return self._owner(key).latest(key, wait=wait)
+
+    def state(self, key):
+        return self._owner(key).state(key)
+
+    def monitor(self, key):
+        return self._owner(key).monitor(key)
+
+    def reset_drift(self, key) -> None:
+        self._owner(key).reset_drift(key)
+
+    def drop(self, key) -> None:
+        self._owner(key).drop(key)
+
+    def keys(self) -> list:
+        found = []
+        for shard in self.shards:
+            found.extend(shard.keys())
+        return found
+
+    def alarmed_keys(self) -> list:
+        alarmed = []
+        for shard in self.shards:
+            alarmed.extend(shard.alarmed_keys())
+        return alarmed
+
+    @property
+    def service(self) -> ShardRouter:
+        """The cluster-facing service surface (the router)."""
+        return self.router
+
+    @property
+    def seq(self) -> int:
+        """Total accepted ticks across all shards.
+
+        Per-shard WAL sequences stay independent (each shard logs its
+        own ticks); the sum is the cluster-level ingest counter.
+        """
+        return sum(shard.seq for shard in self.shards)
+
+    @property
+    def interval(self) -> float:
+        return self.shards[0].interval
+
+    def durable_config(self) -> dict:
+        """Identity + policy knobs (uniform across shards by construction)."""
+        return self.shards[0].durable_config()
+
+    # ------------------------------------------------------------------
+    # cluster view
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Merged stream + service counters for the whole cluster.
+
+        Reads like an unsharded snapshot (same keys, summed counters)
+        with a ``workers`` field added; per-shard breakdowns come from
+        :meth:`shard_snapshots` when skew matters.
+        """
+        merged = StreamStats()
+        seq = series = alarmed = 0
+        for shard in self.shards:
+            part = shard.snapshot()["stream"]
+            merged.ticks += part["ticks"]
+            merged.rows += part["rows"]
+            merged.filled += part["filled"]
+            merged.gaps += part["gaps"]
+            merged.forecasts += part["forecasts"]
+            merged.fallbacks += part["fallbacks"]
+            merged.drift_alarms += part["drift_alarms"]
+            seq += part["seq"]
+            series += part["series"]
+            alarmed += part["alarmed"]
+        stream = merged.as_dict()
+        stream["seq"] = seq
+        stream["series"] = series
+        stream["alarmed"] = alarmed
+        stream["workers"] = len(self.shards)
+        service = self.router.snapshot().as_dict()
+        service["engine"] = self.router.engine
+        service["precision"] = self.router.precision
+        service["serve_threads"] = self.router.serve_threads
+        return {"stream": stream, "service": service}
+
+    def shard_snapshots(self) -> dict[int, dict]:
+        """Unmerged per-shard snapshots keyed by shard label."""
+        return {index: shard.snapshot()
+                for index, shard in enumerate(self.shards)}
+
+    def clear(self) -> None:
+        """Fail-closed wipe of every shard (recovery uses this)."""
+        for shard in self.shards:
+            shard.clear()
+
+    def restore_from(self, directory: str, *, replay_wal: bool = True,
+                     strict_wal: bool = True, recoverer=None):
+        """Recover the whole cluster from ``directory``'s chains.
+
+        Runs a :class:`repro.durable.shard.ShardedRecoverer` (pass your
+        own via ``recoverer`` to inspect stages afterwards); handles
+        resharding when the directory was written by a different worker
+        count.  Raises :class:`repro.durable.recover.RecoveryError`
+        unless recovery reaches ``succeeded``.
+        """
+        from ..durable.recover import RecoveryError
+        from ..durable.shard import ShardedRecoverer
+
+        if recoverer is None:
+            recoverer = ShardedRecoverer()
+        state = recoverer.recover(directory, self, replay_wal=replay_wal,
+                                  strict_wal=strict_wal)
+        if state.failure_reason is not None:
+            raise RecoveryError(state)
+        return state
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self.router.close()
+
+    def __enter__(self) -> "ShardedStreamingForecaster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -285,6 +285,12 @@ class StreamingForecaster:
         with self._lock:
             return self._seq
 
+    @property
+    def interval(self) -> float:
+        """Expected tick spacing (the replay harness reads this — the
+        sharded front end exposes it too, without a single ingestor)."""
+        return self.ingestor.interval
+
     def keys(self) -> list:
         with self._lock:
             return self.ingestor.keys()

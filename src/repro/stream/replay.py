@@ -93,7 +93,7 @@ def replay(forecaster: StreamingForecaster,
             f"first_tick must be in [0, {len(values)}], got {first_tick}")
     end = (len(values) if max_ticks is None
            else min(first_tick + max_ticks, len(values)))
-    interval = forecaster.ingestor.interval
+    interval = forecaster.interval
 
     futures: dict = {}
     begin = time.perf_counter()

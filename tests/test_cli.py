@@ -69,6 +69,14 @@ class TestCLI:
         assert payload["parity_checked"] == payload["stream"]["forecasts"]
         assert payload["stream"]["forecasts"] > 0
 
+        code = main(["stream", "--artifacts", os.path.dirname(out),
+                     "--dataset", "ETTm1", "--length", "500",
+                     "--ticks", "120", "--verify", "--workers", "2"])
+        assert code == 0
+        sharded = capsys.readouterr().out
+        assert "sharded streaming: 2 worker(s), 64 vnodes/shard" in sharded
+        assert "bitwise identical" in sharded
+
     def test_compare(self, capsys):
         code = main(["compare", "--dataset", "Exchange", "--horizon", "12",
                      "--models", "iTransformer", "PatchTST"] + MICRO_ARGS)
@@ -167,6 +175,46 @@ class TestDurabilityFlagValidation:
         for flag in ("--snapshot-dir", "--snapshot-every", "--resume",
                      "--no-wal"):
             assert flag in out
+
+
+class TestShardFlagValidation:
+    """--workers/--shard-vnodes fail fast at the parser, never mid-run."""
+
+    @pytest.mark.parametrize("command", ["serve", "stream"])
+    def test_shard_vnodes_requires_multiple_workers(self, command,
+                                                    capsys):
+        with pytest.raises(SystemExit):
+            main([command, "--artifacts", "nowhere",
+                  "--shard-vnodes", "32"])
+        assert "requires --workers > 1" in capsys.readouterr().err
+
+    def test_shard_vnodes_with_one_worker_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--artifacts", "nowhere", "--workers", "1",
+                  "--shard-vnodes", "16"])
+        assert "requires --workers > 1" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("value", ["0", "-2"])
+    def test_nonpositive_workers_rejected(self, value, capsys):
+        with pytest.raises(SystemExit):
+            main(["stream", "--artifacts", "nowhere",
+                  "--workers", value])
+        assert "--workers must be >= 1" in capsys.readouterr().err
+
+    def test_nonpositive_vnodes_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["stream", "--artifacts", "nowhere", "--workers", "2",
+                  "--shard-vnodes", "0"])
+        assert "--shard-vnodes must be >= 1" in capsys.readouterr().err
+
+    def test_help_documents_shard_flags(self, capsys):
+        for command in ("serve", "stream"):
+            with pytest.raises(SystemExit) as excinfo:
+                main([command, "--help"])
+            assert excinfo.value.code == 0
+            out = capsys.readouterr().out
+            assert "--workers" in out
+            assert "--shard-vnodes" in out
 
 
 class TestMultiSeed:
