@@ -53,6 +53,9 @@ METRICS: list[tuple[str, str, str]] = [
     ("scale_curve", "summary.ingest_speedup_4w", "higher"),
     ("scale_curve", "summary.w4_aggregate_forecast_ticks_per_s", "higher"),
     ("scale_curve", "summary.w4_p99_forecast_latency_s", "lower"),
+    ("perf_gateway", "http_rps", "higher"),
+    ("perf_gateway", "decision_us", "lower"),
+    ("perf_gateway", "shed_rps", "higher"),
 ]
 
 _HERE = os.path.dirname(os.path.abspath(__file__))

@@ -1,0 +1,160 @@
+"""BENCH: gateway overhead — HTTP serving, policy tax, shed cost.
+
+Three numbers characterize the multi-tenant front end:
+
+* ``http_rps`` — end-to-end forecasts/sec through real sockets with
+  concurrent keep-alive clients (auth + meter + admission + HTTP
+  framing + the student forward).  The gateway exists to be deployed;
+  this is the number a deployment sees.
+* ``decision_us`` — microseconds per *policy decision* (authenticate,
+  reserve, rate-check, admit, settle) measured without the forward.
+  The whole resource model must stay negligible against a ~ms student
+  forward.
+* ``shed_rps`` — rejections/sec for an over-quota tenant.  Load
+  shedding only protects the service if refusing work is orders of
+  magnitude cheaper than doing it.
+
+Forecasts served over HTTP are asserted bitwise identical to the
+in-process service — the parity bar the whole stack holds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import urllib.request
+
+import numpy as np
+
+from conftest import bench_dir, run_once
+
+from repro.core import TimeKDConfig
+from repro.core.student import StudentModel
+from repro.data import StandardScaler
+from repro.gateway import (
+    PREDICT_UNITS,
+    ApiKeyRegistry,
+    Gateway,
+    GatewayServer,
+    write_keys_file,
+)
+from repro.serve import ForecastService, save_student_artifact
+
+NUM_REQUESTS = 192
+CLIENTS = 8
+DECISIONS = 2000
+SHEDS = 2000
+
+
+def _post(url: str, key: str, payload: bytes):
+    request = urllib.request.Request(
+        url, data=payload, headers={"Authorization": f"Bearer {key}"})
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return json.loads(response.read())
+
+
+def test_gateway_overhead(benchmark, tmp_path_factory):
+    artifact_dir = str(tmp_path_factory.mktemp("gateway-bench"))
+    config = TimeKDConfig(history_length=96, horizon=24, num_variables=7,
+                          d_model=32, num_heads=2, num_layers=1, ffn_dim=64)
+    student = StudentModel(config)
+    student.eval()
+    rng = np.random.default_rng(0)
+    scaler = StandardScaler().fit(rng.normal(1.0, 2.0, size=(500, 7)))
+    save_student_artifact(
+        os.path.join(artifact_dir, "ettm1-h24.npz"), student, config,
+        scaler=scaler, metadata={"dataset": "ETTm1"})
+    keys_path = os.path.join(artifact_dir, "keys.json")
+    write_keys_file(keys_path, {
+        "k-bench": {"tenant": "bench", "units": 10**9,
+                    "rate": 1e9, "burst": 1e9},
+        "k-broke": {"tenant": "broke", "units": 0,
+                    "rate": 1e9, "burst": 1e9},
+    })
+    window = rng.normal(
+        size=(config.history_length,
+              config.num_variables)).astype(np.float32)
+    body = json.dumps({"history": window.tolist()}).encode("utf-8")
+
+    def run() -> dict:
+        with ForecastService(artifact_dir, max_batch=64) as service:
+            direct = service.predict(window)  # lazy-load + warm-up
+            gateway = Gateway(service, ApiKeyRegistry(keys_path),
+                              max_pending=4 * NUM_REQUESTS)
+            with GatewayServer(gateway).start() as server:
+                url = server.url + "/v1/predict"
+                first = _post(url, "k-bench", body)
+                np.testing.assert_array_equal(
+                    np.asarray(first["forecast"], dtype=np.float32),
+                    direct, err_msg="HTTP forecasts must be bitwise "
+                    "identical to in-process predict")
+
+                # -- end-to-end HTTP throughput, concurrent clients
+                per_client = NUM_REQUESTS // CLIENTS
+                errors: list[Exception] = []
+
+                def client():
+                    try:
+                        for _ in range(per_client):
+                            _post(url, "k-bench", body)
+                    except Exception as error:  # pragma: no cover
+                        errors.append(error)
+
+                threads = [threading.Thread(target=client)
+                           for _ in range(CLIENTS)]
+                start = time.perf_counter()
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                http_s = time.perf_counter() - start
+                assert not errors, errors[:1]
+                served = CLIENTS * per_client
+
+                # -- policy decision cost, no forward involved
+                tenant_key = gateway.authenticate("k-bench")
+                account = gateway.account_for(tenant_key)
+                bucket = gateway.bucket_for(tenant_key)
+                start = time.perf_counter()
+                for _ in range(DECISIONS):
+                    gateway.admission.admit()
+                    reservation = account.reserve(
+                        PREDICT_UNITS, "predict")
+                    bucket.try_acquire(PREDICT_UNITS)
+                    reservation.commit()
+                decision_s = time.perf_counter() - start
+
+                # -- shed cost: an exhausted tenant must fail fast
+                broke = gateway.authenticate("k-broke")
+                payload = {"history": window.tolist()}
+                start = time.perf_counter()
+                for _ in range(SHEDS):
+                    response = gateway.predict(broke, payload)
+                    assert response.status == 429
+                shed_s = time.perf_counter() - start
+
+            snapshot = gateway.snapshot()
+
+        http_rps = served / max(http_s, 1e-9)
+        decision_us = decision_s / DECISIONS * 1e6
+        shed_rps = SHEDS / max(shed_s, 1e-9)
+        # Refusing a request must be far cheaper than serving one.
+        assert shed_rps > 10.0 * http_rps, (
+            f"shedding ({shed_rps:.0f}/s) is not meaningfully cheaper "
+            f"than serving ({http_rps:.0f}/s)")
+        return {
+            "requests": served,
+            "clients": CLIENTS,
+            "http_s": http_s,
+            "http_rps": http_rps,
+            "decision_us": decision_us,
+            "shed_rps": shed_rps,
+            "served_batches": snapshot["service"]["batches"],
+            "max_coalesced": snapshot["service"]["max_coalesced"],
+        }
+
+    result = run_once(benchmark, run)
+    with open(os.path.join(bench_dir(), "perf_gateway.json"), "w") as fh:
+        json.dump(result, fh, indent=2)

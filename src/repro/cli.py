@@ -12,6 +12,8 @@ Usage::
         --dataset ETTm1 --horizon 24 --requests 64
     python -m repro.cli stream --artifacts artifacts/models \
         --dataset ETTm1 --horizon 24 --ticks 200 --verify
+    python -m repro.cli gateway --artifacts artifacts/models \
+        --keys keys.json --port 8080
     python -m repro.cli compare --dataset Exchange --horizon 24 \
         --models TimeKD iTransformer
 
@@ -43,6 +45,14 @@ identical to the single-process run, so ``--verify`` holds at any
 worker count — and with ``--snapshot-dir`` each shard keeps its own
 ``snapshot-{shard}-{seq}.npz``/WAL chain; ``--resume`` under a
 different ``--workers`` reshards the recovered state through the ring.
+
+``gateway`` fronts the same serving stack with a multi-tenant HTTP
+server (see :mod:`repro.gateway`): API keys from a hot-reloadable
+``--keys`` file, per-tenant unit metering and token-bucket rate
+limits, and queue-depth admission control.  SIGINT/SIGTERM drain
+gracefully — in-flight requests finish, per-tenant usage counters are
+persisted to ``--snapshot-dir`` (restored on the next start), and
+``--stats-out`` is written even on abnormal exit.
 """
 
 from __future__ import annotations
@@ -140,6 +150,36 @@ def _positive_int(flag: str):
         if parsed < 1:
             raise argparse.ArgumentTypeError(
                 f"{flag} must be >= 1, got {parsed}")
+        return parsed
+    return parse
+
+
+def _nonneg_int(flag: str):
+    """argparse type hook factory: fail fast on negative counts."""
+    def parse(value: str) -> int:
+        try:
+            parsed = int(value)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"{flag} expects an integer, got {value!r}")
+        if parsed < 0:
+            raise argparse.ArgumentTypeError(
+                f"{flag} must be >= 0, got {parsed}")
+        return parsed
+    return parse
+
+
+def _positive_float(flag: str):
+    """argparse type hook factory: fail fast on non-positive values."""
+    def parse(value: str) -> float:
+        try:
+            parsed = float(value)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"{flag} expects a number, got {value!r}")
+        if parsed <= 0:
+            raise argparse.ArgumentTypeError(
+                f"{flag} must be > 0, got {parsed}")
         return parsed
     return parse
 
@@ -374,10 +414,46 @@ def _graceful_shutdown(service, drain_actions: list | None = None):
             signal.signal(signum, old)
 
 
+def _make_stats_writer(path: str, collect, drain_actions: list):
+    """Stats-dump plumbing shared by serve/stream/gateway.
+
+    Returns a writer callable and registers an ``{"aborted": true}``
+    variant on ``drain_actions``, so ``--stats-out`` lands on disk even
+    when the command dies to a signal or an exception mid-run — a
+    monitoring pipeline must never lose the run's counters to the very
+    incident it exists to explain.  ``collect()`` is called at write
+    time (after the drain), so the dump reflects final counters.
+    """
+    from .durable import atomic_write_json
+
+    def write(extra: dict | None = None) -> None:
+        payload = collect()
+        if extra:
+            payload.update(extra)
+        # Atomic (tmp + os.replace): a crash mid-dump must not leave a
+        # truncated JSON for a dashboard to choke on.
+        atomic_write_json(path, payload)
+        print(f"stats written to {path}")
+
+    drain_actions.append(lambda: write({"aborted": True}))
+    return write
+
+
 def _cmd_serve(args) -> int:
     from .serve import read_artifact_info
 
-    with _make_service(args) as service, _graceful_shutdown(service):
+    drain_actions: list = []
+    with _make_service(args) as service, \
+            _graceful_shutdown(service, drain_actions):
+        write_stats = None
+        if args.stats_out:
+            def _collect() -> dict:
+                payload = service.snapshot().as_dict()
+                payload["engine"] = service.engine
+                payload["precision"] = service.precision
+                return payload
+            write_stats = _make_stats_writer(
+                args.stats_out, _collect, drain_actions)
         keys = service.keys()
         sharded = (f", {args.workers} shard worker(s)"
                    if args.workers is not None else "")
@@ -420,6 +496,13 @@ def _cmd_serve(args) -> int:
     if args.out:
         np.save(args.out, forecasts)
         print(f"forecasts saved to {args.out}")
+    if write_stats is not None:
+        drain_actions.clear()  # the normal-path write supersedes it
+        write_stats({
+            "requests": len(windows),
+            "elapsed_s": elapsed,
+            "requests_per_second": len(windows) / max(elapsed, 1e-9),
+        })
     return 0
 
 
@@ -452,6 +535,15 @@ def _cmd_stream(args) -> int:
         else:
             forecaster = StreamingForecaster(
                 service, dataset=key[0], horizon=key[1], **stream_options)
+
+        write_stats = None
+        if args.stats_out:
+            def _collect() -> dict:
+                snap = forecaster.snapshot()
+                return {"stream": snap["stream"],
+                        "service": snap["service"]}
+            write_stats = _make_stats_writer(
+                args.stats_out, _collect, drain_actions)
 
         if args.resume:
             from .durable import RecoveryError
@@ -557,19 +649,79 @@ def _cmd_stream(args) -> int:
         if compared is not None:
             print(f"parity: {compared} streamed forecast(s) bitwise "
                   f"identical to offline predict")
-        if args.stats_out:
-            from .durable import atomic_write_json
-
+        if write_stats is not None:
             payload = report.as_dict()
+            # The pre-verify snapshot: --verify re-predicts every
+            # window and would contaminate the coalescing counters the
+            # writer would otherwise re-collect.
             payload["stream"], payload["service"] = stream, serve
             payload["total_ticks"] = total_ticks
             payload["ticks_per_second"] = total_ticks / max(total_s, 1e-9)
             if compared is not None:
                 payload["parity_checked"] = compared
-            # Atomic (tmp + os.replace): a crash mid-dump must not
-            # leave a truncated JSON for a dashboard to choke on.
-            atomic_write_json(args.stats_out, payload)
-            print(f"stats written to {args.stats_out}")
+            write_stats(payload)
+    return 0
+
+
+def _cmd_gateway(args) -> int:
+    import os
+
+    from .gateway import ApiKeyRegistry, Gateway, GatewayServer, KeyFileError
+
+    try:
+        registry = ApiKeyRegistry(
+            args.keys, default_units=args.quota,
+            default_rate=args.rate, default_burst=args.burst)
+    except KeyFileError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+
+    drain_actions: list = []
+    with _make_service(args) as service, \
+            _graceful_shutdown(service, drain_actions):
+        gateway = Gateway(
+            service, registry, cadence=args.cadence, policy=args.policy,
+            interval=args.interval, max_gap=args.max_gap,
+            raw_values=args.raw, max_pending=args.max_pending,
+            retry_after=args.retry_after)
+
+        if args.snapshot_dir:
+            os.makedirs(args.snapshot_dir, exist_ok=True)
+            usage_path = os.path.join(args.snapshot_dir, "usage.json")
+            if gateway.load_usage(usage_path):
+                tenants = gateway.meter.usage()
+                spent = sum(t["spent"] for t in tenants.values())
+                print(f"restored usage for {len(tenants)} tenant(s) "
+                      f"({spent} unit(s) spent) from {usage_path}")
+            # Runs after the service drain: every committed request has
+            # settled its reservation by then, so the persisted counters
+            # are exact (reserved is transient and never persisted).
+            drain_actions.append(lambda: gateway.save_usage(usage_path))
+
+        if args.stats_out:
+            _make_stats_writer(
+                args.stats_out, gateway.snapshot, drain_actions)
+
+        server = GatewayServer(gateway, host=args.host, port=args.port)
+        keys = service.keys()
+        sharded = (f", {args.workers} shard worker(s)"
+                   if args.workers is not None else "")
+        print(f"gateway listening on {server.url} — {len(keys)} "
+              f"artifact(s) from {args.artifacts}, "
+              f"{len(registry.keys())} API key(s), quota {args.quota} "
+              f"unit(s), admission bound {args.max_pending} "
+              f"[{service.engine} engine, {service.precision}{sharded}]",
+              flush=True)
+        try:
+            # Runs until SIGINT/SIGTERM raises SystemExit out of the
+            # accept loop.  The drain then unwinds inside-out: stop
+            # accepting and join in-flight HTTP handlers (server.close,
+            # while the service still resolves their futures), then
+            # _graceful_shutdown closes the service, then the drain
+            # actions persist usage and stats.
+            server.serve_forever()
+        finally:
+            server.close()
     return 0
 
 
@@ -654,6 +806,9 @@ def main(argv: list[str] | None = None) -> int:
                             "models concurrently (per-model FIFO order is "
                             "preserved)")
     serve.add_argument("--out", default=None, help="save forecasts (.npy)")
+    serve.add_argument("--stats-out", default=None, metavar="JSON",
+                       help="dump service stats as JSON (written "
+                            "atomically, even on abnormal exit)")
     _add_engine(serve)
     _add_shard(serve)
     serve.set_defaults(func=_cmd_serve)
@@ -719,6 +874,75 @@ def main(argv: list[str] | None = None) -> int:
     _add_engine(stream)
     _add_shard(stream)
     stream.set_defaults(func=_cmd_stream)
+
+    gateway = commands.add_parser(
+        "gateway", help="serve artifacts over HTTP with API keys, "
+                        "per-tenant metering and admission control")
+    gateway.add_argument("--artifacts", required=True,
+                         help="directory of student artifact bundles")
+    gateway.add_argument("--keys", required=True, metavar="JSON",
+                         help="API-key file (see repro.gateway.auth); "
+                              "hot-reloaded on change, so keys and "
+                              "quotas can be edited on a live gateway")
+    gateway.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    gateway.add_argument("--port", default=8080, metavar="N",
+                         type=_nonneg_int("--port"),
+                         help="bind port (0 = any free port, printed "
+                              "on startup)")
+    gateway.add_argument("--quota", default=10_000, metavar="UNITS",
+                         type=_nonneg_int("--quota"),
+                         help="issued request units for keys whose file "
+                              "entry omits 'units' (a forecast costs 4, "
+                              "an ingested tick 1)")
+    gateway.add_argument("--rate", default=100.0, metavar="UNITS/S",
+                         type=_positive_float("--rate"),
+                         help="token-bucket refill for keys omitting "
+                              "'rate'")
+    gateway.add_argument("--burst", default=200.0, metavar="UNITS",
+                         type=_positive_float("--burst"),
+                         help="token-bucket capacity for keys omitting "
+                              "'burst'")
+    gateway.add_argument("--max-pending", default=256, metavar="N",
+                         type=_positive_int("--max-pending"),
+                         help="admission bound on queued + in-flight "
+                              "requests; beyond it new work is shed "
+                              "with 503 Retry-After")
+    gateway.add_argument("--retry-after", default=1.0, metavar="S",
+                         type=_positive_float("--retry-after"),
+                         help="Retry-After hint (seconds) on shed "
+                              "responses")
+    gateway.add_argument("--cadence", type=int, default=1,
+                         help="ingest path: re-forecast every K ticks "
+                              "(0 = never; predict-only gateway)")
+    gateway.add_argument("--policy", default="error",
+                         choices=["error", "ffill", "interpolate"],
+                         help="ingest path: missing-tick policy")
+    gateway.add_argument("--interval", default=1.0, metavar="S",
+                         type=_positive_float("--interval"),
+                         help="ingest path: expected tick spacing on "
+                              "the timestamp grid")
+    gateway.add_argument("--max-gap", type=int, default=16,
+                         help="ingest path: largest fillable gap")
+    gateway.add_argument("--raw", action="store_true",
+                         help="treat request/stream values as raw data "
+                              "units (apply each bundle's scaler)")
+    gateway.add_argument("--max-models", type=int, default=4)
+    gateway.add_argument("--max-batch", type=int, default=64)
+    gateway.add_argument("--serve-threads", type=int, default=1,
+                         help="drain batches for up to this many "
+                              "different models concurrently")
+    gateway.add_argument("--snapshot-dir", default=None, metavar="DIR",
+                         help="durable state directory: per-tenant "
+                              "usage counters are saved here on "
+                              "shutdown and restored on start")
+    gateway.add_argument("--stats-out", default=None, metavar="JSON",
+                         help="dump gateway/service/stream stats as "
+                              "JSON on exit (written atomically, even "
+                              "on abnormal exit)")
+    _add_engine(gateway)
+    _add_shard(gateway)
+    gateway.set_defaults(func=_cmd_gateway)
 
     compare = commands.add_parser("compare",
                                   help="compare models on one dataset")

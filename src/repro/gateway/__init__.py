@@ -1,0 +1,61 @@
+"""Multi-tenant HTTP serving layer: metering, quotas, admission control.
+
+The gateway is the outermost ring of the serving stack::
+
+    HTTP (server) -> policy (app) -> micro-batch queue (repro.serve)
+                                  -> streaming ingest  (repro.stream)
+                                  -> shards            (repro.shard)
+
+It adds the *operational* contract the inner layers deliberately do
+not: who may call (:mod:`~repro.gateway.auth`), how much they may
+spend (:mod:`~repro.gateway.meter`), and when the service refuses work
+to protect itself (:mod:`~repro.gateway.admission`).  Forecasts
+returned over HTTP are bitwise identical to in-process
+``ForecastService.predict`` — the gateway routes and accounts, it
+never computes.
+
+Everything is stdlib + the existing stack; there is no web framework
+to install, which keeps the reproduction runnable anywhere the paper
+code runs.
+"""
+
+from .admission import AdmissionController, SaturationError
+from .app import Gateway, GatewayStats, Response
+from .auth import (
+    KEYS_FORMAT_VERSION,
+    ApiKeyRegistry,
+    KeyFileError,
+    TenantKey,
+    write_keys_file,
+)
+from .meter import (
+    INGEST_UNITS,
+    PREDICT_UNITS,
+    Meter,
+    QuotaError,
+    TenantAccount,
+    TokenBucket,
+    UnitReservation,
+)
+from .server import MAX_BODY_BYTES, GatewayServer
+
+__all__ = [
+    "INGEST_UNITS",
+    "KEYS_FORMAT_VERSION",
+    "MAX_BODY_BYTES",
+    "PREDICT_UNITS",
+    "AdmissionController",
+    "ApiKeyRegistry",
+    "Gateway",
+    "GatewayServer",
+    "GatewayStats",
+    "KeyFileError",
+    "Meter",
+    "QuotaError",
+    "Response",
+    "SaturationError",
+    "TenantAccount",
+    "TokenBucket",
+    "UnitReservation",
+    "write_keys_file",
+]

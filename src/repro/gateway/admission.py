@@ -1,0 +1,84 @@
+"""Saturation-aware admission control over the micro-batch queue.
+
+The serving layers behind the gateway are pull-based: requests queue in
+:class:`~repro.serve.service.ForecastService` until the drain loop
+batches them.  Nothing in that design bounds the queue — a client fleet
+faster than the drain would grow it without limit, trading memory and
+tail latency for nothing.  :class:`AdmissionController` closes that
+hole at the front door: before any work is enqueued it reads the
+service's live ``(queue_depth, in_flight)`` gauges (one consistent
+``pressure()`` sample) and sheds the request with ``503 Retry-After``
+when the committed load plus the request's own cost would exceed the
+configured bound.  Shedding happens *before* quota is spent and before
+the queue is touched, so a saturated gateway degrades into fast, cheap
+rejections instead of unbounded queue growth.
+"""
+
+from __future__ import annotations
+
+__all__ = ["AdmissionController", "SaturationError"]
+
+
+class SaturationError(Exception):
+    """The serving queue cannot absorb this request right now."""
+
+    def __init__(self, load: int, limit: int, retry_after: float):
+        self.load = int(load)
+        self.limit = int(limit)
+        self.retry_after = float(retry_after)
+        super().__init__(
+            f"serving queue saturated: {load} request(s) committed "
+            f"against a bound of {limit}")
+
+
+class AdmissionController:
+    """Admit or shed requests based on live service pressure.
+
+    Parameters
+    ----------
+    service:
+        Anything exposing ``pressure() -> (queue_depth, in_flight)`` —
+        a :class:`~repro.serve.service.ForecastService` or a
+        :class:`~repro.shard.router.ShardRouter`.
+    max_pending:
+        Bound on ``queue_depth + in_flight + cost``.  This is the
+        gateway's memory/latency budget: with a drain that coalesces up
+        to ``max_batch`` windows per forward, ``max_pending`` caps the
+        worst-case wait at roughly ``max_pending / max_batch`` forwards.
+    retry_after:
+        Hint returned to shed clients.  A constant is honest here — the
+        drain rate is workload-dependent and a precise estimate would
+        synchronize retries into a thundering herd; jittering around a
+        small constant is the client's job.
+
+    The controller itself is stateless apart from counters: admission
+    is a pure read of the service gauges, so concurrent handlers can
+    call :meth:`admit` without extra locking (the worst case is a
+    transiently over-admitted request the bound absorbs).
+    """
+
+    def __init__(self, service, max_pending: int = 256,
+                 retry_after: float = 1.0):
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if retry_after <= 0:
+            raise ValueError("retry_after must be positive seconds")
+        self.service = service
+        self.max_pending = int(max_pending)
+        self.retry_after = float(retry_after)
+
+    def load(self) -> int:
+        """Current committed load (queued + in-flight requests)."""
+        depth, flight = self.service.pressure()
+        return depth + flight
+
+    def admit(self, cost: int = 1) -> None:
+        """Raise :class:`SaturationError` unless ``cost`` more requests
+        fit under the bound.  Touches no state on either outcome."""
+        load = self.load()
+        if load + int(cost) > self.max_pending:
+            raise SaturationError(load, self.max_pending, self.retry_after)
+
+    def headroom(self) -> int:
+        """Requests that could be admitted right now (>= 0)."""
+        return max(0, self.max_pending - self.load())

@@ -1,0 +1,180 @@
+"""File-backed API-key registry with atomic writes and hot reload.
+
+The key file is plain JSON so operators can manage it with anything::
+
+    {
+      "version": 1,
+      "keys": {
+        "acme-key-1": {"tenant": "acme", "units": 10000,
+                       "rate": 50.0, "burst": 100}
+      }
+    }
+
+``units`` is the tenant's issued request-unit pool (see
+:mod:`repro.gateway.meter`), ``rate``/``burst`` its token-bucket shape;
+all three fall back to the registry's defaults when omitted.  Several
+keys may share one tenant (key rotation): they authenticate into the
+same account and the same bucket.
+
+Writes go through :func:`write_keys_file` → ``repro.persist`` atomic
+replacement, so the gateway can never observe a torn key file.  Reads
+hot-reload: every :meth:`ApiKeyRegistry.authenticate` stats the file
+and re-parses when the mtime moved, which is how operators add keys or
+raise quotas on a live gateway.  A file that momentarily fails to parse
+keeps the previous key set — a bad edit must not lock every tenant out.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass
+
+from ..persist import atomic_write_json
+
+__all__ = [
+    "KEYS_FORMAT_VERSION",
+    "ApiKeyRegistry",
+    "KeyFileError",
+    "TenantKey",
+    "write_keys_file",
+]
+
+KEYS_FORMAT_VERSION = 1
+
+#: Registry-level fallbacks for per-key knobs left unset in the file.
+DEFAULT_UNITS = 10_000
+DEFAULT_RATE = 100.0
+DEFAULT_BURST = 200.0
+
+
+class KeyFileError(ValueError):
+    """The key file is missing, malformed, or structurally invalid."""
+
+
+@dataclass(frozen=True)
+class TenantKey:
+    """One resolved API key: who it is and what it may consume."""
+
+    key: str
+    tenant: str
+    units: int
+    rate: float
+    burst: float
+
+
+def _parse_keys(payload: dict, path: str, *, default_units: int,
+                default_rate: float, default_burst: float) -> dict:
+    if not isinstance(payload, dict):
+        raise KeyFileError(f"{path!r} must hold a JSON object")
+    version = payload.get("version")
+    if version != KEYS_FORMAT_VERSION:
+        raise KeyFileError(
+            f"{path!r} has key-file version {version!r}, this build "
+            f"reads version {KEYS_FORMAT_VERSION}")
+    entries = payload.get("keys")
+    if not isinstance(entries, dict):
+        raise KeyFileError(f"{path!r} is missing its 'keys' object")
+    keys: dict[str, TenantKey] = {}
+    for key, entry in entries.items():
+        if not isinstance(entry, dict) or "tenant" not in entry:
+            raise KeyFileError(
+                f"key {key!r} in {path!r} must map to an object with "
+                f"at least a 'tenant' field")
+        tenant = str(entry["tenant"])
+        units = int(entry.get("units", default_units))
+        rate = float(entry.get("rate", default_rate))
+        burst = float(entry.get("burst", default_burst))
+        if units < 0:
+            raise KeyFileError(f"key {key!r}: units must be >= 0")
+        if rate <= 0 or burst <= 0:
+            raise KeyFileError(f"key {key!r}: rate/burst must be > 0")
+        keys[str(key)] = TenantKey(str(key), tenant, units, rate, burst)
+    return keys
+
+
+def write_keys_file(path: str, keys: dict[str, dict]) -> None:
+    """Atomically publish a key file mapping ``api key -> entry dict``.
+
+    Each entry needs ``tenant`` and may carry ``units``/``rate``/
+    ``burst``.  Validates by round-tripping through the parser first,
+    so a typo fails here instead of on a live gateway.
+    """
+    payload = {"version": KEYS_FORMAT_VERSION, "keys": keys}
+    _parse_keys(payload, path, default_units=DEFAULT_UNITS,
+                default_rate=DEFAULT_RATE, default_burst=DEFAULT_BURST)
+    atomic_write_json(path, payload)
+
+
+class ApiKeyRegistry:
+    """Hot-reloadable ``api key -> TenantKey`` lookups over one file.
+
+    Parameters
+    ----------
+    path:
+        The JSON key file; must exist and parse at construction (a
+        gateway with zero valid keys is a misconfiguration, not a
+        service).
+    default_units / default_rate / default_burst:
+        Fallbacks for per-key knobs the file omits — the CLI's
+        ``--quota`` flag lands in ``default_units``.
+    """
+
+    def __init__(self, path: str, *, default_units: int = DEFAULT_UNITS,
+                 default_rate: float = DEFAULT_RATE,
+                 default_burst: float = DEFAULT_BURST):
+        self.path = path
+        self.default_units = int(default_units)
+        self.default_rate = float(default_rate)
+        self.default_burst = float(default_burst)
+        self._lock = threading.Lock()
+        self._keys: dict[str, TenantKey] = {}
+        self._mtime_ns: int | None = None
+        self._load(initial=True)
+
+    def _load(self, initial: bool = False) -> None:
+        try:
+            stat = os.stat(self.path)
+            with open(self.path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            keys = _parse_keys(
+                payload, self.path, default_units=self.default_units,
+                default_rate=self.default_rate,
+                default_burst=self.default_burst)
+        except (OSError, ValueError) as error:
+            if initial:
+                raise KeyFileError(
+                    f"cannot read key file {self.path!r}: {error}"
+                ) from error
+            return  # keep serving the previous key set
+        self._keys = keys
+        self._mtime_ns = stat.st_mtime_ns
+
+    def maybe_reload(self) -> bool:
+        """Re-parse the file when its mtime moved; True on a reload."""
+        with self._lock:
+            try:
+                mtime_ns = os.stat(self.path).st_mtime_ns
+            except OSError:
+                return False  # deleted out from under us: keep keys
+            if mtime_ns == self._mtime_ns:
+                return False
+            self._load()
+            return True
+
+    def authenticate(self, key: str | None) -> TenantKey | None:
+        """Resolve an API key to its tenant (``None`` = unauthorized)."""
+        if not key:
+            return None
+        self.maybe_reload()
+        with self._lock:
+            return self._keys.get(key)
+
+    def keys(self) -> list[str]:
+        with self._lock:
+            return sorted(self._keys)
+
+    def tenants(self) -> list[str]:
+        with self._lock:
+            return sorted({entry.tenant for entry in self._keys.values()})

@@ -85,6 +85,12 @@ class ServiceStats:
     plan_misses: int = 0
     plan_evictions: int = 0
     plan_rebuilds: int = 0
+    #: Instantaneous gauges (not counters): requests still queued and
+    #: requests popped into a running batch whose future is unresolved.
+    #: The admission layer (repro.gateway) reads these to shed load
+    #: before a saturated queue grows unboundedly.
+    queue_depth: int = 0
+    in_flight: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -99,6 +105,8 @@ class ServiceStats:
             "plan_misses": self.plan_misses,
             "plan_evictions": self.plan_evictions,
             "plan_rebuilds": self.plan_rebuilds,
+            "queue_depth": self.queue_depth,
+            "in_flight": self.in_flight,
         }
 
     @classmethod
@@ -133,6 +141,8 @@ class ServiceStats:
             merged.plan_misses += part.plan_misses
             merged.plan_evictions += part.plan_evictions
             merged.plan_rebuilds += part.plan_rebuilds
+            merged.queue_depth += part.queue_depth
+            merged.in_flight += part.in_flight
             merged.max_coalesced = max(merged.max_coalesced,
                                        part.max_coalesced)
         return merged
@@ -230,6 +240,9 @@ class ForecastService:
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
         self._pending: OrderedDict[tuple[str, int], list[_Request]] = OrderedDict()
+        # Live gauges (see ServiceStats.queue_depth / in_flight).
+        self._queue_depth = 0
+        self._in_flight = 0
         self._paused = False
         self._closed = False
         self._pool = (ThreadPoolExecutor(
@@ -302,6 +315,8 @@ class ForecastService:
         """
         with self._lock:
             stats = replace(self.stats)
+            stats.queue_depth = self._queue_depth
+            stats.in_flight = self._in_flight
             engines = [m.compiled for m in self._models.values()
                        if m.compiled is not None]
         for engine in engines:
@@ -311,6 +326,29 @@ class ForecastService:
             stats.plan_evictions += plan["evictions"]
             stats.plan_rebuilds += plan["rebuilds"]
         return stats
+
+    def queue_depth(self) -> int:
+        """Requests accepted by :meth:`submit` but not yet popped into a
+        batch.  A gauge, not a counter — safe to poll at request rate."""
+        with self._lock:
+            return self._queue_depth
+
+    def in_flight(self) -> int:
+        """Requests popped into a running batch whose future has not
+        resolved yet (the work the drain loop is committed to)."""
+        with self._lock:
+            return self._in_flight
+
+    def pressure(self) -> tuple[int, int]:
+        """One consistent ``(queue_depth, in_flight)`` reading.
+
+        The admission controller needs both gauges from the same
+        instant — reading them through two lock acquisitions could see
+        a batch counted twice (still queued in one read, already in
+        flight in the next) and over-shed at the boundary.
+        """
+        with self._lock:
+            return self._queue_depth, self._in_flight
 
     def restore_stats(self, payload: dict) -> None:
         """Fold a recovered snapshot's service counters into this process.
@@ -395,6 +433,7 @@ class ForecastService:
                 raise RuntimeError("ForecastService is closed")
             self._pending.setdefault(key, []).append(request)
             self.stats.requests += 1
+            self._queue_depth += 1
             self._wake.notify()
         return request.future
 
@@ -440,6 +479,8 @@ class ForecastService:
                     self.stats.served += len(batch)
                     self.stats.max_coalesced = max(
                         self.stats.max_coalesced, len(batch))
+                    self._queue_depth -= len(batch)
+                    self._in_flight += len(batch)
                     rounds.append((key, batch))
             if self._pool is not None and len(rounds) > 1:
                 done = [self._pool.submit(self._run_guarded, key, batch)
@@ -458,6 +499,11 @@ class ForecastService:
             for request in batch:
                 if not request.future.done():
                     request.future.set_exception(error)
+        finally:
+            # Every future in the batch is resolved (result or error) by
+            # this point, so the requests leave the in-flight gauge.
+            with self._lock:
+                self._in_flight -= len(batch)
 
     def _run_batch(self, key: tuple[str, int], batch: list[_Request]) -> None:
         model = self._get_model(key)

@@ -115,6 +115,29 @@ class ShardRouter:
         return ServiceStats.merge(
             [worker.service.snapshot() for worker in self.workers])
 
+    def queue_depth(self) -> int:
+        """Cluster-wide queued-request gauge (sum over shards)."""
+        return sum(worker.service.queue_depth() for worker in self.workers)
+
+    def in_flight(self) -> int:
+        """Cluster-wide in-flight-request gauge (sum over shards)."""
+        return sum(worker.service.in_flight() for worker in self.workers)
+
+    def pressure(self) -> tuple[int, int]:
+        """Summed ``(queue_depth, in_flight)`` across shards.
+
+        Each shard's pair is read atomically; the sum interleaves with
+        other shards' drains, which only shifts load between the two
+        gauges — the total the admission layer compares against its
+        bound never double-counts a request.
+        """
+        depth = flight = 0
+        for worker in self.workers:
+            d, f = worker.service.pressure()
+            depth += d
+            flight += f
+        return depth, flight
+
     def shard_snapshots(self) -> dict[int, ServiceStats]:
         """Unmerged per-shard counters (skew debugging, benchmarks)."""
         return {worker.shard: worker.service.snapshot()

@@ -13,6 +13,27 @@ from repro.experiments.common import ExperimentScale, prepare_data, run_model_se
 MICRO_ARGS = ["--length", "500", "--epochs", "1", "--d-model", "16"]
 
 
+def make_tiny_bundle(directory: str, history_length: int = 32,
+                     horizon: int = 8, num_variables: int = 3) -> None:
+    """A minimal (untrained) student bundle for CLI plumbing tests."""
+    from repro.core import TimeKDConfig
+    from repro.core.student import StudentModel
+    from repro.data import StandardScaler
+    from repro.serve import save_student_artifact
+
+    config = TimeKDConfig(
+        history_length=history_length, horizon=horizon,
+        num_variables=num_variables, d_model=16, num_heads=2,
+        num_layers=1, ffn_dim=32)
+    student = StudentModel(config)
+    student.eval()
+    scaler = StandardScaler().fit(np.random.default_rng(0).normal(
+        size=(120, num_variables)))
+    save_student_artifact(
+        os.path.join(directory, "ettm1.npz"), student, config,
+        scaler=scaler, metadata={"dataset": "ETTm1"})
+
+
 class TestCLI:
     def test_train_evaluate_predict_serve(self, tmp_path, capsys):
         out = os.path.join(tmp_path, "models", "ettm1-h12.npz")
@@ -215,6 +236,114 @@ class TestShardFlagValidation:
             out = capsys.readouterr().out
             assert "--workers" in out
             assert "--shard-vnodes" in out
+
+
+class TestGatewayFlagValidation:
+    """gateway flags fail fast at the parser, never on a live socket."""
+
+    BASE = ["gateway", "--artifacts", "nowhere", "--keys", "keys.json"]
+
+    def test_keys_file_is_required(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["gateway", "--artifacts", "nowhere"])
+        assert "--keys" in capsys.readouterr().err
+
+    def test_negative_port_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(self.BASE + ["--port", "-1"])
+        assert "--port must be >= 0" in capsys.readouterr().err
+
+    def test_negative_quota_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(self.BASE + ["--quota", "-5"])
+        assert "--quota must be >= 0" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("flag", ["--rate", "--burst",
+                                      "--retry-after", "--interval"])
+    def test_nonpositive_rates_rejected(self, flag, capsys):
+        with pytest.raises(SystemExit):
+            main(self.BASE + [flag, "0"])
+        assert f"{flag} must be > 0" in capsys.readouterr().err
+
+    def test_nonpositive_max_pending_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(self.BASE + ["--max-pending", "0"])
+        assert "--max-pending must be >= 1" in capsys.readouterr().err
+
+    def test_shard_vnodes_requires_multiple_workers(self, capsys):
+        with pytest.raises(SystemExit):
+            main(self.BASE + ["--shard-vnodes", "32"])
+        assert "requires --workers > 1" in capsys.readouterr().err
+
+    def test_missing_key_file_is_a_clean_error(self, tmp_path, capsys):
+        code = main(["gateway", "--artifacts", str(tmp_path),
+                     "--keys", str(tmp_path / "absent.json")])
+        assert code == 1
+        assert "cannot read key file" in capsys.readouterr().err
+
+    def test_help_documents_gateway_flags(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["gateway", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for flag in ("--keys", "--quota", "--rate", "--burst",
+                     "--max-pending", "--retry-after", "--snapshot-dir",
+                     "--stats-out", "--workers"):
+            assert flag in out
+
+
+class TestStatsOutOnAbnormalExit:
+    """--stats-out must land on disk even when the run dies mid-flight."""
+
+    def test_serve_stats_written_when_interrupted(self, tmp_path,
+                                                  monkeypatch, capsys):
+        import json
+
+        make_tiny_bundle(str(tmp_path), history_length=96,
+                         num_variables=7, horizon=24)
+        stats_path = str(tmp_path / "serve-stats.json")
+        # simulate a signal arriving mid-run: the first submit is the
+        # first thing the body does after loading request windows
+        from repro.serve import ForecastService
+
+        def boom(*args, **kwargs):
+            raise SystemExit(143)
+
+        monkeypatch.setattr(ForecastService, "submit", boom)
+        with pytest.raises(SystemExit):
+            main(["serve", "--artifacts", str(tmp_path),
+                  "--dataset", "ETTm1", "--length", "500",
+                  "--requests", "4", "--stats-out", stats_path])
+        assert "stats written" in capsys.readouterr().out
+        with open(stats_path) as fh:
+            payload = json.load(fh)
+        assert payload["aborted"] is True
+        assert payload["requests"] == 0
+
+    def test_stream_stats_written_when_interrupted(self, tmp_path,
+                                                   monkeypatch, capsys):
+        import json
+
+        make_tiny_bundle(str(tmp_path), history_length=96,
+                         num_variables=7, horizon=24)
+        stats_path = str(tmp_path / "stream-stats.json")
+        import repro.cli as cli
+        from repro.stream import replay as real_replay  # noqa: F401
+
+        def boom(*args, **kwargs):
+            raise SystemExit(143)
+
+        monkeypatch.setattr("repro.stream.replay", boom)
+        with pytest.raises(SystemExit):
+            cli.main(["stream", "--artifacts", str(tmp_path),
+                      "--dataset", "ETTm1", "--length", "500",
+                      "--ticks", "10", "--stats-out", stats_path])
+        assert "stats written" in capsys.readouterr().out
+        with open(stats_path) as fh:
+            payload = json.load(fh)
+        assert payload["aborted"] is True
+        assert payload["stream"]["ticks"] == 0
+        assert "service" in payload
 
 
 class TestMultiSeed:

@@ -1,0 +1,788 @@
+"""Tests for the multi-tenant gateway: metering, auth, admission, HTTP.
+
+The ordering contract under test everywhere: a request that is refused
+(401/400/404/429/503) leaves tenant state bit-for-bit unchanged, and a
+request that succeeds spends exactly its price — so for every tenant,
+at every observable moment, ``issued == spent + reserved + remaining``.
+The HTTP layer is additionally held to the stack's parity bar:
+forecasts over sockets are bitwise identical to in-process
+``ForecastService.predict``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core import TimeKDConfig
+from repro.core.student import StudentModel
+from repro.data import StandardScaler
+from repro.gateway import (
+    INGEST_UNITS,
+    PREDICT_UNITS,
+    AdmissionController,
+    ApiKeyRegistry,
+    Gateway,
+    GatewayServer,
+    KeyFileError,
+    Meter,
+    QuotaError,
+    SaturationError,
+    TokenBucket,
+    write_keys_file,
+)
+from repro.serve import ForecastService, save_student_artifact
+
+L, N, M = 32, 3, 8
+
+
+def gateway_config(**overrides) -> TimeKDConfig:
+    base = TimeKDConfig(history_length=L, horizon=M, num_variables=N,
+                        d_model=16, num_heads=2, num_layers=1, ffn_dim=32)
+    return base.with_updates(**overrides) if overrides else base
+
+
+def make_bundle(directory, name="ettm1-h8.npz",
+                dataset="ETTm1") -> TimeKDConfig:
+    config = gateway_config()
+    student = StudentModel(config)
+    student.eval()
+    scaler = StandardScaler().fit(np.random.default_rng(0).normal(
+        2.0, 3.0, size=(200, config.num_variables)))
+    save_student_artifact(os.path.join(directory, name), student, config,
+                          scaler=scaler, metadata={"dataset": dataset})
+    return config
+
+
+@pytest.fixture(scope="module")
+def artifact_dir(tmp_path_factory) -> str:
+    directory = str(tmp_path_factory.mktemp("gateway-artifacts"))
+    make_bundle(directory)
+    return directory
+
+
+@pytest.fixture()
+def service(artifact_dir):
+    with ForecastService(artifact_dir) as svc:
+        yield svc
+
+
+@pytest.fixture()
+def keys_path(tmp_path) -> str:
+    path = str(tmp_path / "keys.json")
+    write_keys_file(path, {
+        "k-acme": {"tenant": "acme", "units": 1000},
+        "k-tiny": {"tenant": "tiny", "units": 9},
+    })
+    return path
+
+
+@pytest.fixture()
+def gateway(service, keys_path) -> Gateway:
+    return Gateway(service, ApiKeyRegistry(keys_path))
+
+
+@pytest.fixture()
+def history(rng) -> np.ndarray:
+    return rng.normal(size=(L, N)).astype(np.float32)
+
+
+def usage_of(gateway: Gateway, tenant: str) -> dict:
+    return gateway.meter.account(tenant).as_dict()
+
+
+# ----------------------------------------------------------------------
+# metering
+# ----------------------------------------------------------------------
+class TestMeter:
+    def test_reserve_commit_release_conserve_units(self):
+        account = Meter().account("acme", issued=100)
+        first = account.reserve(30, "predict")
+        second = account.reserve(20, "ingest")
+        assert (account.issued, account.reserved,
+                account.remaining) == (100, 50, 50)
+        first.commit()
+        second.release()
+        assert (account.spent, account.reserved,
+                account.remaining) == (30, 0, 70)
+        assert account.spent_by == {"predict": 30}
+        assert account.ops_by == {"predict": 1}
+        assert account.issued == account.spent + account.reserved \
+            + account.remaining
+
+    def test_overdraw_raises_and_changes_nothing(self):
+        account = Meter().account("acme", issued=10)
+        account.reserve(8, "predict").commit()
+        with pytest.raises(QuotaError) as excinfo:
+            account.reserve(4, "predict")
+        assert excinfo.value.requested == 4
+        assert excinfo.value.remaining == 2
+        assert (account.spent, account.reserved,
+                account.remaining) == (8, 0, 2)
+
+    def test_split_commits_the_accepted_part_only(self):
+        account = Meter().account("acme", issued=100)
+        reservation = account.reserve(10, "ingest")
+        accepted, remainder = reservation.split(7)
+        accepted.commit()
+        remainder.release()
+        assert (account.spent, account.remaining) == (7, 93)
+        with pytest.raises(ValueError):
+            account.reserve(5, "ingest").split(6)
+
+    def test_settle_is_single_shot(self):
+        account = Meter().account("acme", issued=10)
+        reservation = account.reserve(4, "predict")
+        reservation.commit()
+        reservation.commit()
+        reservation.release()  # all no-ops after the first settle
+        assert (account.spent, account.remaining) == (4, 6)
+
+    def test_expand_grows_but_never_shrinks(self):
+        account = Meter().account("acme", issued=10)
+        account.expand(50)
+        assert account.issued == 50
+        account.expand(5)
+        assert account.issued == 50
+
+    def test_export_import_round_trip(self):
+        meter = Meter()
+        account = meter.account("acme", issued=100)
+        account.reserve(12, "predict").commit()
+        account.reserve(3, "ingest").commit()
+        account.reserve(5, "predict")  # in flight: must not persist
+        state = meter.export_state()
+        restored = Meter()
+        restored.import_state(json.loads(json.dumps(state)))
+        usage = restored.account("acme").as_dict()
+        assert usage["issued"] == 100
+        assert usage["spent"] == 15
+        assert usage["reserved"] == 0  # a restart releases reservations
+        assert usage["remaining"] == 85
+        assert usage["spent_by"] == {"predict": 12, "ingest": 3}
+        assert usage["ops_by"] == {"predict": 1, "ingest": 1}
+
+
+class TestTokenBucket:
+    def test_acquire_refuse_refill(self):
+        now = [0.0]
+        bucket = TokenBucket(rate=2.0, burst=4.0, clock=lambda: now[0])
+        assert bucket.try_acquire(3) == 0.0
+        retry = bucket.try_acquire(3)  # 1 token left, needs 2 more
+        assert retry == pytest.approx(1.0)
+        # the refusal consumed nothing
+        assert bucket.available() == pytest.approx(1.0)
+        now[0] += 1.0
+        assert bucket.try_acquire(3) == 0.0
+        assert bucket.available() == pytest.approx(0.0)
+
+    def test_burst_caps_the_refill(self):
+        now = [0.0]
+        bucket = TokenBucket(rate=100.0, burst=5.0, clock=lambda: now[0])
+        now[0] += 60.0
+        assert bucket.available() == pytest.approx(5.0)
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.0)
+
+
+# ----------------------------------------------------------------------
+# key registry
+# ----------------------------------------------------------------------
+class TestApiKeyRegistry:
+    def test_resolves_keys_with_defaults(self, keys_path):
+        registry = ApiKeyRegistry(keys_path, default_rate=7.0)
+        resolved = registry.authenticate("k-acme")
+        assert resolved.tenant == "acme"
+        assert resolved.units == 1000
+        assert resolved.rate == 7.0  # file omits rate -> registry default
+        assert registry.authenticate("unknown") is None
+        assert registry.authenticate(None) is None
+        assert registry.tenants() == ["acme", "tiny"]
+
+    def test_hot_reload_picks_up_new_keys(self, keys_path):
+        registry = ApiKeyRegistry(keys_path)
+        assert registry.authenticate("k-new") is None
+        write_keys_file(keys_path, {
+            "k-new": {"tenant": "newco", "units": 5}})
+        os.utime(keys_path, ns=(1, 1))  # force an mtime_ns change
+        assert registry.authenticate("k-new").tenant == "newco"
+        assert registry.authenticate("k-acme") is None  # rotated out
+
+    def test_bad_edit_keeps_previous_keys(self, keys_path):
+        registry = ApiKeyRegistry(keys_path)
+        with open(keys_path, "w") as handle:
+            handle.write("{ not json")
+        os.utime(keys_path, ns=(2, 2))
+        assert registry.authenticate("k-acme").tenant == "acme"
+
+    def test_initial_bad_file_refuses_to_start(self, tmp_path):
+        path = str(tmp_path / "bad.json")
+        with open(path, "w") as handle:
+            json.dump({"version": 99, "keys": {}}, handle)
+        with pytest.raises(KeyFileError):
+            ApiKeyRegistry(path)
+        with pytest.raises(KeyFileError):
+            ApiKeyRegistry(str(tmp_path / "missing.json"))
+
+    def test_write_validates_before_publishing(self, tmp_path):
+        path = str(tmp_path / "keys.json")
+        with pytest.raises(KeyFileError):
+            write_keys_file(path, {"k": {"tenant": "t", "rate": 0}})
+        with pytest.raises(KeyFileError):
+            write_keys_file(path, {"k": {"units": 5}})  # no tenant
+        assert not os.path.exists(path)
+
+
+# ----------------------------------------------------------------------
+# admission
+# ----------------------------------------------------------------------
+class _FakePressure:
+    def __init__(self, depth=0, flight=0):
+        self.depth, self.flight = depth, flight
+
+    def pressure(self):
+        return self.depth, self.flight
+
+
+class TestAdmissionController:
+    def test_admits_under_and_sheds_over_the_bound(self):
+        fake = _FakePressure(depth=3, flight=2)
+        admission = AdmissionController(fake, max_pending=6)
+        admission.admit()  # 5 + 1 <= 6
+        assert admission.headroom() == 1
+        fake.flight = 3
+        with pytest.raises(SaturationError) as excinfo:
+            admission.admit()
+        assert excinfo.value.load == 6
+        assert excinfo.value.limit == 6
+        assert excinfo.value.retry_after == 1.0
+        assert admission.headroom() == 0
+
+    def test_cost_counts_against_the_bound(self):
+        admission = AdmissionController(_FakePressure(), max_pending=4)
+        admission.admit(cost=4)
+        with pytest.raises(SaturationError):
+            admission.admit(cost=5)
+
+
+# ----------------------------------------------------------------------
+# gateway handlers (in process — the same path HTTP drives)
+# ----------------------------------------------------------------------
+class TestGatewayHandlers:
+    def test_predict_bitwise_equals_direct_service(self, gateway,
+                                                   service, history):
+        tenant_key = gateway.authenticate("k-acme")
+        response = gateway.predict(
+            tenant_key, {"history": history.tolist()})
+        assert response.status == 200
+        direct = service.predict(history)
+        # float32 -> JSON-able floats -> float32 is exact, so the HTTP
+        # representation can (and must) round-trip bitwise.
+        via_json = np.asarray(
+            json.loads(json.dumps(response.payload))["forecast"],
+            dtype=np.float32)
+        np.testing.assert_array_equal(via_json, direct)
+        assert response.payload["units"] == {
+            "spent": PREDICT_UNITS, "remaining": 1000 - PREDICT_UNITS}
+
+    @pytest.mark.parametrize("payload, status", [
+        ({}, 400),                                   # missing history
+        ({"history": [[1.0], [1.0, 2.0]]}, 400),     # ragged
+        ({"history": [1.0, 2.0]}, 400),              # wrong ndim
+        ({"history": [[1.0, 2.0, 3.0]]}, 400),       # wrong window len
+        ({"history": None, "dataset": 7}, 400),      # bad dataset type
+    ])
+    def test_invalid_predicts_cost_nothing(self, gateway, payload,
+                                           status, history):
+        if payload.get("history") is None and "dataset" in payload:
+            payload["history"] = history.tolist()
+        tenant_key = gateway.authenticate("k-acme")
+        response = gateway.predict(tenant_key, payload)
+        assert response.status == status
+        usage = usage_of(gateway, "acme")
+        assert usage["spent"] == 0 and usage["reserved"] == 0
+        assert gateway.stats.invalid == 1
+
+    def test_unknown_model_404(self, gateway, history):
+        tenant_key = gateway.authenticate("k-acme")
+        response = gateway.predict(tenant_key, {
+            "history": history.tolist(), "dataset": "nope"})
+        assert response.status == 404
+        assert usage_of(gateway, "acme")["spent"] == 0
+
+    def test_quota_exhaustion_is_exact_and_stateless(self, gateway,
+                                                     history):
+        tenant_key = gateway.authenticate("k-tiny")  # 9 issued units
+        payload = {"history": history.tolist()}
+        assert gateway.predict(tenant_key, payload).status == 200
+        assert gateway.predict(tenant_key, payload).status == 200
+        refused = gateway.predict(tenant_key, payload)
+        assert refused.status == 429
+        assert refused.retry_after is not None
+        usage = usage_of(gateway, "tiny")
+        assert usage["spent"] == 2 * PREDICT_UNITS
+        assert usage["remaining"] == 9 - 2 * PREDICT_UNITS
+        assert usage["reserved"] == 0
+        assert gateway.stats.shed_quota == 1
+        # shedding is idempotent: refusals never erode the pool
+        for _ in range(5):
+            assert gateway.predict(tenant_key, payload).status == 429
+        assert usage_of(gateway, "tiny") == usage
+
+    def test_rate_limit_sheds_with_retry_after(self, service, tmp_path,
+                                               history):
+        keys = str(tmp_path / "slow.json")
+        write_keys_file(keys, {"k-slow": {
+            "tenant": "slow", "units": 1000, "rate": 1.0,
+            "burst": float(PREDICT_UNITS)}})
+        gateway = Gateway(service, ApiKeyRegistry(keys))
+        tenant_key = gateway.authenticate("k-slow")
+        payload = {"history": history.tolist()}
+        assert gateway.predict(tenant_key, payload).status == 200
+        refused = gateway.predict(tenant_key, payload)
+        assert refused.status == 429
+        assert refused.retry_after > 0
+        usage = usage_of(gateway, "slow")
+        assert usage["spent"] == PREDICT_UNITS  # the shed one is free
+        assert usage["reserved"] == 0
+        assert gateway.stats.shed_rate == 1
+
+    def test_saturation_sheds_before_touching_quota(self, service,
+                                                    keys_path, history):
+        gateway = Gateway(service, ApiKeyRegistry(keys_path),
+                          max_pending=1)
+        tenant_key = gateway.authenticate("k-acme")
+        service.pause()
+        try:
+            blocker = service.submit(history)  # fills the whole bound
+            response = gateway.predict(
+                tenant_key, {"history": history.tolist()})
+            assert response.status == 503
+            assert response.retry_after is not None
+            usage = usage_of(gateway, "acme")
+            assert usage["spent"] == 0 and usage["reserved"] == 0
+            assert gateway.stats.shed_saturated == 1
+        finally:
+            service.resume()
+        blocker.result()
+
+    def test_ingest_prices_per_row_and_triggers_forecasts(
+            self, gateway, service, rng):
+        tenant_key = gateway.authenticate("k-acme")
+        run = rng.normal(size=(L, N))
+        response = gateway.ingest(tenant_key, {
+            "series": "s1", "timestamp": 0.0, "values": run.tolist(),
+            "wait": True})
+        assert response.status == 200
+        assert response.payload["accepted"] == L
+        assert response.payload["ready"] is True
+        assert response.payload["forecast_triggered"] is True
+        forecast = np.asarray(response.payload["forecast"],
+                              dtype=np.float32)
+        # the cadence forecast is the service forward of this window
+        np.testing.assert_array_equal(
+            forecast, service.predict(run.astype(np.float32)))
+        assert response.payload["units"]["spent"] == L * INGEST_UNITS
+        single = gateway.ingest(tenant_key, {
+            "series": "s1", "timestamp": float(L),
+            "values": run[0].tolist()})
+        assert single.status == 200
+        assert single.payload["accepted"] == 1
+        usage = usage_of(gateway, "acme")
+        assert usage["spent"] == (L + 1) * INGEST_UNITS
+        assert usage["spent_by"] == {"ingest": L + 1}
+
+    def test_rejected_ticks_cost_nothing(self, gateway, rng):
+        tenant_key = gateway.authenticate("k-acme")
+        tick = rng.normal(size=N).tolist()
+        assert gateway.ingest(tenant_key, {
+            "series": "s1", "timestamp": 0.0,
+            "values": tick}).status == 200
+        # gap under the default "error" policy: refused before any
+        # state mutation, so no units move and the stream is intact
+        gap = gateway.ingest(tenant_key, {
+            "series": "s1", "timestamp": 500.0, "values": tick})
+        assert gap.status == 400
+        stale = gateway.ingest(tenant_key, {
+            "series": "s1", "timestamp": -1.0, "values": tick})
+        assert stale.status == 400
+        usage = usage_of(gateway, "acme")
+        assert usage["spent"] == 1 * INGEST_UNITS
+        assert usage["reserved"] == 0
+        forecaster = gateway.forecaster_for()
+        assert forecaster.state(("acme", "s1")).count == 1
+
+    @pytest.mark.parametrize("payload", [
+        {"timestamp": 0.0, "values": [1.0, 2.0, 3.0]},     # no series
+        {"series": "", "timestamp": 0.0, "values": [1.0]},  # empty name
+        {"series": "s", "values": [1.0, 2.0, 3.0]},         # no stamp
+        {"series": "s", "timestamp": True, "values": [1.0]},
+        {"series": "s", "timestamp": 0.0},                  # no values
+        {"series": "s", "timestamp": 0.0, "values": []},    # empty
+        {"series": "s", "timestamp": 0.0,
+         "values": [[[1.0]]]},                              # 3-D
+    ])
+    def test_malformed_ingest_is_400(self, gateway, payload):
+        tenant_key = gateway.authenticate("k-acme")
+        assert gateway.ingest(tenant_key, payload).status == 400
+        assert usage_of(gateway, "acme")["spent"] == 0
+
+    def test_tenants_share_models_not_streams(self, gateway, rng):
+        tick = rng.normal(size=N).tolist()
+        for key in ("k-acme", "k-tiny"):
+            tenant_key = gateway.authenticate(key)
+            assert gateway.ingest(tenant_key, {
+                "series": "shared-name", "timestamp": 0.0,
+                "values": tick}).status == 200
+        forecaster = gateway.forecaster_for()
+        assert forecaster.state(("acme", "shared-name")).count == 1
+        assert forecaster.state(("tiny", "shared-name")).count == 1
+
+    def test_usage_is_own_tenant_only(self, gateway):
+        acme = gateway.authenticate("k-acme")
+        assert gateway.usage(acme, "acme").status == 200
+        refused = gateway.usage(acme, "tiny")
+        assert refused.status == 403
+
+    def test_draining_refuses_everything_but_keeps_state(self, gateway,
+                                                         history):
+        tenant_key = gateway.authenticate("k-acme")
+        gateway.begin_drain()
+        for response in (
+                gateway.predict(tenant_key, {"history": history.tolist()}),
+                gateway.ingest(tenant_key, {"series": "s",
+                                            "timestamp": 0.0,
+                                            "values": [0.0] * N}),
+                gateway.stats_view(),
+                gateway.health()):
+            assert response.status == 503
+        assert gateway.health().payload["status"] == "draining"
+        assert usage_of(gateway, "acme")["spent"] == 0
+
+    def test_snapshot_composes_all_layers(self, gateway, history, rng):
+        tenant_key = gateway.authenticate("k-acme")
+        gateway.predict(tenant_key, {"history": history.tolist()})
+        gateway.ingest(tenant_key, {"series": "s", "timestamp": 0.0,
+                                    "values": rng.normal(size=N).tolist()})
+        snapshot = gateway.snapshot()
+        assert snapshot["gateway"]["predicts"] == 1
+        assert snapshot["gateway"]["ingested_ticks"] == 1
+        assert snapshot["service"]["requests"] >= 1
+        assert snapshot["streams"]["ETTm1:8"]["ticks"] == 1
+        assert snapshot["tenants"]["acme"]["spent"] == \
+            PREDICT_UNITS + INGEST_UNITS
+        json.dumps(snapshot)  # the whole view must be JSON-clean
+
+    def test_usage_survives_a_restart(self, service, keys_path, tmp_path,
+                                      history):
+        usage_path = str(tmp_path / "usage.json")
+        gateway = Gateway(service, ApiKeyRegistry(keys_path))
+        tenant_key = gateway.authenticate("k-acme")
+        gateway.predict(tenant_key, {"history": history.tolist()})
+        gateway.save_usage(usage_path)
+
+        reborn = Gateway(service, ApiKeyRegistry(keys_path))
+        assert reborn.load_usage(usage_path) is True
+        usage = usage_of(reborn, "acme")
+        assert usage["spent"] == PREDICT_UNITS
+        assert usage["issued"] == 1000
+        assert usage["remaining"] == 1000 - PREDICT_UNITS
+        assert Gateway(service, ApiKeyRegistry(keys_path)).load_usage(
+            str(tmp_path / "never-written.json")) is False
+
+
+# ----------------------------------------------------------------------
+# quota exactness under concurrency
+# ----------------------------------------------------------------------
+class TestConcurrentQuota:
+    def test_spent_plus_remaining_is_exact_under_threads(
+            self, service, tmp_path, history):
+        issued = 10 * PREDICT_UNITS + 2  # 10 grants, then refusals
+        keys = str(tmp_path / "keys.json")
+        write_keys_file(keys, {"k": {"tenant": "t", "units": issued,
+                                     "rate": 1e9, "burst": 1e9}})
+        gateway = Gateway(service, ApiKeyRegistry(keys))
+        tenant_key = gateway.authenticate("k")
+        statuses: list[int] = []
+        lock = threading.Lock()
+
+        def worker():
+            response = gateway.predict(
+                tenant_key, {"history": history.tolist()})
+            with lock:
+                statuses.append(response.status)
+
+        threads = [threading.Thread(target=worker) for _ in range(24)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        granted = statuses.count(200)
+        assert granted == 10
+        assert statuses.count(429) == 24 - granted
+        usage = usage_of(gateway, "t")
+        assert usage["spent"] == granted * PREDICT_UNITS
+        assert usage["reserved"] == 0
+        assert usage["spent"] + usage["remaining"] == issued
+
+
+# ----------------------------------------------------------------------
+# HTTP end to end (real sockets)
+# ----------------------------------------------------------------------
+def http(url: str, key: str | None = None, payload=None, raw: bytes
+         | None = None):
+    request = urllib.request.Request(url)
+    if key is not None:
+        request.add_header("Authorization", f"Bearer {key}")
+    data = raw
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+    try:
+        with urllib.request.urlopen(request, data=data, timeout=30) as r:
+            return r.status, json.loads(r.read()), dict(r.headers)
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read()), dict(error.headers)
+
+
+@pytest.fixture()
+def live(service, keys_path):
+    gateway = Gateway(service, ApiKeyRegistry(keys_path))
+    with GatewayServer(gateway).start() as server:
+        yield gateway, server.url
+
+
+class TestGatewayHTTP:
+    def test_forecast_over_sockets_is_bitwise(self, live, service,
+                                              history):
+        _, base = live
+        direct = service.predict(history)
+        status, body, _ = http(base + "/v1/predict", key="k-acme",
+                               payload={"history": history.tolist()})
+        assert status == 200
+        np.testing.assert_array_equal(
+            np.asarray(body["forecast"], dtype=np.float32), direct)
+        assert body["dataset"] == "ETTm1" and body["horizon"] == M
+
+    def test_auth_is_enforced_per_request(self, live):
+        gateway, base = live
+        status, _, headers = http(base + "/v1/stats")
+        assert status == 401
+        assert "Bearer" in headers.get("WWW-Authenticate", "")
+        assert http(base + "/v1/stats", key="wrong")[0] == 401
+        assert http(base + "/v1/stats", key="k-acme")[0] == 200
+        assert gateway.stats.unauthorized == 2
+
+    def test_healthz_needs_no_key(self, live):
+        _, base = live
+        status, body, _ = http(base + "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert {"queue_depth", "in_flight", "headroom"} <= set(body)
+
+    def test_usage_endpoint_and_cross_tenant_403(self, live, history):
+        _, base = live
+        http(base + "/v1/predict", key="k-acme",
+             payload={"history": history.tolist()})
+        status, body, _ = http(base + "/v1/tenants/acme/usage",
+                               key="k-acme")
+        assert status == 200
+        assert body["spent"] == PREDICT_UNITS
+        assert http(base + "/v1/tenants/acme/usage", key="k-tiny")[0] \
+            == 403
+
+    def test_quota_429_carries_retry_after_header(self, live, history):
+        _, base = live
+        payload = {"history": history.tolist()}
+        for _ in range(2):
+            assert http(base + "/v1/predict", key="k-tiny",
+                        payload=payload)[0] == 200
+        status, body, headers = http(base + "/v1/predict", key="k-tiny",
+                                     payload=payload)
+        assert status == 429
+        assert int(headers["Retry-After"]) >= 1
+        assert body["remaining"] == 9 - 2 * PREDICT_UNITS
+
+    def test_ingest_and_stats_routes(self, live, rng):
+        _, base = live
+        run = rng.normal(size=(L, N))
+        status, body, _ = http(base + "/v1/ingest", key="k-acme",
+                               payload={"series": "s", "timestamp": 0.0,
+                                        "values": run.tolist(),
+                                        "wait": True})
+        assert status == 200
+        assert body["forecast_triggered"] is True
+        assert np.asarray(body["forecast"]).shape == (M, N)
+        status, body, _ = http(base + "/v1/stats", key="k-acme")
+        assert status == 200
+        assert body["gateway"]["ingested_ticks"] == L
+        assert body["streams"]["ETTm1:8"]["series"] == 1
+
+    def test_malformed_requests_get_clean_errors(self, live):
+        _, base = live
+        assert http(base + "/v1/predict", key="k-acme",
+                    raw=b"not json")[0] == 400
+        assert http(base + "/v1/nowhere", key="k-acme",
+                    payload={})[0] == 404
+        assert http(base + "/nope")[0] == 404
+
+    def test_draining_gateway_sheds_with_503(self, live, history):
+        gateway, base = live
+        gateway.begin_drain()
+        status, _, headers = http(base + "/v1/predict", key="k-acme",
+                                  payload={"history": history.tolist()})
+        assert status == 503
+        assert "Retry-After" in headers
+        assert http(base + "/healthz")[0] == 503
+
+    def test_concurrent_http_quota_is_exact(self, live, history):
+        _, base = live
+        statuses: list[int] = []
+        lock = threading.Lock()
+
+        def worker():
+            status, _, _ = http(base + "/v1/predict", key="k-tiny",
+                                payload={"history": history.tolist()})
+            with lock:
+                statuses.append(status)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # 9 issued units, PREDICT_UNITS each: exactly 2 can ever win
+        assert statuses.count(200) == 2
+        assert statuses.count(429) == 6
+        status, body, _ = http(base + "/v1/tenants/tiny/usage",
+                               key="k-tiny")
+        assert status == 200
+        assert body["spent"] == 2 * PREDICT_UNITS
+        assert body["reserved"] == 0
+        assert body["spent"] + body["remaining"] == 9
+
+
+# ----------------------------------------------------------------------
+# stateful property testing: random endpoint interleavings
+# ----------------------------------------------------------------------
+def test_stateful_endpoint_interleavings(service, keys_path):
+    """Hypothesis drives random call sequences against the live decision
+    path and checks, after every step, that unit conservation holds and
+    refused requests never moved tenant state."""
+    pytest.importorskip("hypothesis")
+    from hypothesis import strategies as st
+    from hypothesis.stateful import (
+        RuleBasedStateMachine,
+        invariant,
+        rule,
+        run_state_machine_as_test,
+    )
+
+    issued = {"acme": 1000, "tiny": 9}
+    flat = np.zeros((L, N), dtype=np.float32).tolist()
+    tick = [0.0] * N
+    tenants = st.sampled_from(sorted(issued))
+    series_names = st.sampled_from(["s0", "s1"])
+
+    class GatewayMachine(RuleBasedStateMachine):
+        def __init__(self):
+            super().__init__()
+            self.gateway = Gateway(service, ApiKeyRegistry(keys_path))
+            self.keys = {"acme": self.gateway.authenticate("k-acme"),
+                         "tiny": self.gateway.authenticate("k-tiny")}
+            for tenant_key in self.keys.values():
+                # materialize each account at its issued size so the
+                # conservation invariant is checkable from step zero
+                self.gateway.account_for(tenant_key)
+            self.spent = {tenant: 0 for tenant in issued}
+            self.next_ts: dict = {}
+
+        def _expect_shed_only(self, tenant, response):
+            """A refusal: correct code, and no units moved."""
+            assert response.status in (429, 503)
+            assert self.spent[tenant] == usage_of(
+                self.gateway, tenant)["spent"]
+
+        @rule(tenant=tenants)
+        def predict(self, tenant):
+            response = self.gateway.predict(
+                self.keys[tenant], {"history": flat})
+            if response.status == 200:
+                self.spent[tenant] += PREDICT_UNITS
+            else:
+                self._expect_shed_only(tenant, response)
+
+        @rule(tenant=tenants)
+        def predict_garbage(self, tenant):
+            response = self.gateway.predict(
+                self.keys[tenant], {"history": [[1.0], [2.0, 3.0]]})
+            assert response.status == 400
+
+        @rule(tenant=tenants)
+        def predict_unknown_model(self, tenant):
+            response = self.gateway.predict(
+                self.keys[tenant], {"history": flat, "dataset": "nope"})
+            assert response.status == 404
+
+        @rule(tenant=tenants, series=series_names,
+              rows=st.integers(min_value=1, max_value=8))
+        def ingest(self, tenant, series, rows):
+            stamp = self.next_ts.get((tenant, series), 0.0)
+            response = self.gateway.ingest(self.keys[tenant], {
+                "series": series, "timestamp": stamp,
+                "values": [tick] * rows})
+            if response.status == 200:
+                assert response.payload["accepted"] == rows
+                self.spent[tenant] += rows * INGEST_UNITS
+                self.next_ts[(tenant, series)] = stamp + rows
+            else:
+                self._expect_shed_only(tenant, response)
+
+        @rule(tenant=tenants, series=series_names)
+        def ingest_gap(self, tenant, series):
+            stamp = self.next_ts.get((tenant, series))
+            if stamp is None:  # a fresh series cannot gap
+                return
+            response = self.gateway.ingest(self.keys[tenant], {
+                "series": series, "timestamp": stamp + 100.0,
+                "values": tick})
+            # quota/rate may refuse first (shed, state untouched);
+            # otherwise the gap itself is a clean 400
+            if response.status != 400:
+                self._expect_shed_only(tenant, response)
+
+        @rule(tenant=tenants, other=tenants)
+        def usage(self, tenant, other):
+            response = self.gateway.usage(self.keys[tenant], other)
+            assert response.status == (200 if other == tenant else 403)
+
+        @rule()
+        def stats(self):
+            json.dumps(self.gateway.stats_view().payload)
+
+        @rule()
+        def unknown_key(self):
+            assert self.gateway.authenticate("not-a-key") is None
+
+        @invariant()
+        def units_conserved(self):
+            for tenant, pool in issued.items():
+                usage = usage_of(self.gateway, tenant)
+                assert usage["issued"] == pool
+                assert usage["spent"] == self.spent[tenant]
+                assert usage["reserved"] == 0  # nothing is in flight
+                assert usage["spent"] + usage["remaining"] == pool
+                assert usage["remaining"] >= 0
+
+    run_state_machine_as_test(GatewayMachine)

@@ -457,3 +457,78 @@ class TestThreadedDrain:
                             precision="int8")
         with pytest.raises(ValueError, match="serve_threads"):
             ForecastService(str(tmp_path), serve_threads=0)
+
+
+class TestPressureGauges:
+    """Live queue-depth / in-flight gauges the admission layer reads."""
+
+    def _drained(self, service, deadline_s: float = 5.0) -> tuple:
+        import time
+
+        deadline = time.monotonic() + deadline_s
+        while time.monotonic() < deadline:
+            pressure = service.pressure()
+            if pressure == (0, 0):
+                return pressure
+            time.sleep(0.005)
+        return service.pressure()
+
+    def test_gauges_track_queue_then_settle_to_zero(self, tmp_path):
+        config, _ = make_bundle(os.path.join(tmp_path, "m.npz"),
+                                tiny_student_config())
+        window = np.zeros((config.history_length, config.num_variables),
+                          dtype=np.float32)
+        with ForecastService(str(tmp_path)) as service:
+            assert service.pressure() == (0, 0)
+            service.pause()
+            futures = [service.submit(window) for _ in range(5)]
+            assert service.queue_depth() == 5
+            assert service.in_flight() == 0
+            snapshot = service.snapshot()
+            assert snapshot.queue_depth == 5
+            assert snapshot.in_flight == 0
+            assert snapshot.as_dict()["queue_depth"] == 5
+            service.resume()
+            for future in futures:
+                future.result()
+            # the futures resolve inside the batch's guarded run; the
+            # gauges settle the moment its finally block exits
+            assert self._drained(service) == (0, 0)
+
+    def test_counters_restore_ignores_gauges(self, tmp_path):
+        from repro.serve.service import ServiceStats
+
+        stats = ServiceStats.from_dict(
+            {"requests": 7, "queue_depth": 3, "in_flight": 2})
+        assert stats.requests == 7
+        # gauges are instantaneous facts about a live queue; restoring
+        # them from a snapshot would fabricate phantom load
+        assert stats.queue_depth == 0
+        assert stats.in_flight == 0
+
+    def test_merge_sums_gauges_across_shards(self):
+        from repro.serve.service import ServiceStats
+
+        merged = ServiceStats.merge([
+            ServiceStats(queue_depth=2, in_flight=1),
+            ServiceStats(queue_depth=4, in_flight=3),
+        ])
+        assert merged.queue_depth == 6
+        assert merged.in_flight == 4
+
+    def test_router_sums_worker_pressure(self, tmp_path):
+        from repro.shard import ShardRouter
+
+        config, _ = make_bundle(os.path.join(tmp_path, "m.npz"),
+                                tiny_student_config())
+        window = np.zeros((config.history_length, config.num_variables),
+                          dtype=np.float32)
+        with ShardRouter(str(tmp_path), workers=2) as router:
+            router.pause()
+            futures = [router.submit(window) for _ in range(4)]
+            assert router.queue_depth() == 4
+            assert router.pressure()[0] == 4
+            router.resume()
+            for future in futures:
+                future.result()
+            assert self._drained(router) == (0, 0)
