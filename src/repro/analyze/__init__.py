@@ -1,0 +1,45 @@
+"""Static analysis of the repo's own invariants (``repro lint``).
+
+``repro.analyze`` machine-checks the conventions the runtime leans on:
+lock discipline on annotated shared state, atomic publication of every
+durable write, float32 hygiene on the compiled hot path, fail-closed
+recovery, monotonic clocks in rate/cadence code, and explicit thread
+lifecycles.  See :mod:`repro.analyze.core` for the framework (rules,
+findings, inline suppressions) and :mod:`repro.analyze.rules` for the
+individual checks.
+
+Stdlib-only by design: linting parses source, it never imports it.
+"""
+
+from .core import (
+    Finding,
+    ModuleContext,
+    Rule,
+    all_rules,
+    analyze_file,
+    analyze_paths,
+    analyze_source,
+    findings_payload,
+    get_rules,
+    has_failures,
+    iter_python_files,
+    register,
+    render_text,
+)
+from . import rules as _rules  # noqa: F401 — importing registers the rules
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "all_rules",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+    "findings_payload",
+    "get_rules",
+    "has_failures",
+    "iter_python_files",
+    "register",
+    "render_text",
+]

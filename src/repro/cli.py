@@ -16,6 +16,7 @@ Usage::
         --keys keys.json --port 8080
     python -m repro.cli compare --dataset Exchange --horizon 24 \
         --models TimeKD iTransformer
+    python -m repro.cli lint --strict --format json
 
 ``train --out`` writes a self-contained student artifact bundle
 (weights + config + scaler + provenance); ``evaluate``/``predict``/
@@ -53,6 +54,13 @@ limits, and queue-depth admission control.  SIGINT/SIGTERM drain
 gracefully — in-flight requests finish, per-tenant usage counters are
 persisted to ``--snapshot-dir`` (restored on the next start), and
 ``--stats-out`` is written even on abnormal exit.
+
+``lint`` runs the repo's static invariant checks (:mod:`repro.analyze`)
+over the given paths (default: the installed ``repro`` package): lock
+discipline, atomic writes, dtype hygiene, fail-closed recovery,
+monotonic clocks and thread lifecycles.  Exit code 0 means clean, 1
+means findings (warnings fail only under ``--strict``), 2 means a usage
+error; ``--format json`` and ``--output`` feed CI.
 """
 
 from __future__ import annotations
@@ -75,6 +83,7 @@ from .experiments.common import (
     run_model,
     strip_private,
 )
+from .persist import atomic_save_array
 
 __all__ = ["main"]
 
@@ -365,7 +374,7 @@ def _cmd_predict(args) -> int:
           f"(horizon {config.horizon}, "
           f"{config.num_variables} variables)")
     if args.out:
-        np.save(args.out, np.asarray(forecast))
+        atomic_save_array(args.out, np.asarray(forecast))
         print(f"forecast saved to {args.out}")
     return 0
 
@@ -494,7 +503,7 @@ def _cmd_serve(args) -> int:
               f"{stats['plan_evictions']} evictions, "
               f"{stats['plan_rebuilds']} rebuild(s)")
     if args.out:
-        np.save(args.out, forecasts)
+        atomic_save_array(args.out, forecasts)
         print(f"forecasts saved to {args.out}")
     if write_stats is not None:
         drain_actions.clear()  # the normal-path write supersedes it
@@ -739,6 +748,43 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    import json
+    import os
+
+    from .analyze import (all_rules, analyze_paths, findings_payload,
+                          get_rules, has_failures, render_text)
+    from .persist import atomic_write_json
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id:18s} {rule.severity:8s} {rule.description}")
+        return 0
+    names = None
+    if args.rule:
+        names = [name.strip() for spec in args.rule
+                 for name in spec.split(",") if name.strip()]
+    try:
+        rules = get_rules(names)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    paths = args.paths or [os.path.dirname(os.path.abspath(__file__))]
+    try:
+        findings = analyze_paths(paths, rules=rules)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    payload = findings_payload(findings, rules=rules)
+    if args.output:
+        atomic_write_json(args.output, payload)
+    if args.format == "json":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_text(findings))
+    return 1 if has_failures(findings, strict=args.strict) else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     commands = parser.add_subparsers(dest="command", required=True)
@@ -950,6 +996,25 @@ def main(argv: list[str] | None = None) -> int:
     compare.add_argument("--models", nargs="+",
                          default=["TimeKD", "iTransformer"])
     compare.set_defaults(func=_cmd_compare)
+
+    lint = commands.add_parser(
+        "lint", help="run the repo's static invariant checks")
+    lint.add_argument("paths", nargs="*",
+                      help="files/directories to analyze (default: the "
+                           "installed repro package)")
+    lint.add_argument("--format", choices=("human", "json"),
+                      default="human", help="report format")
+    lint.add_argument("--rule", action="append", default=None,
+                      metavar="ID[,ID...]",
+                      help="run only these rules (repeatable)")
+    lint.add_argument("--strict", action="store_true",
+                      help="warnings also fail (exit 1)")
+    lint.add_argument("--output", default=None, metavar="JSON",
+                      help="also write the JSON report to this file "
+                           "(atomically)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list registered rules and exit")
+    lint.set_defaults(func=_cmd_lint)
 
     args = parser.parse_args(argv)
     _check_engine_flags(parser, args)

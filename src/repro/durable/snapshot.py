@@ -336,8 +336,8 @@ class StreamSnapshotter:
                 forecaster.service.path_for(forecaster.model_key))
         except (KeyError, ArtifactError):
             self._artifact_digest = None
-        self._wal: TickWAL | None = None
-        self._ticks_since = 0
+        self._wal: TickWAL | None = None  # guarded-by: forecaster._lock
+        self._ticks_since = 0  # guarded-by: forecaster._lock
         with forecaster._lock:
             if forecaster._snapshotter is not None:
                 raise RuntimeError(
@@ -361,6 +361,7 @@ class StreamSnapshotter:
                        fsync=self.fsync)
 
     # called from StreamingForecaster.append, under the forecaster lock
+    # requires-lock: forecaster._lock
     def observe(self, key, timestamp: float, values, seq: int) -> None:
         if self._wal is not None:
             self._wal.append(seq, key, timestamp, values)
@@ -416,13 +417,18 @@ class StreamSnapshotter:
                     pass
 
     def close(self) -> None:
-        """Detach from the forecaster and close the active WAL."""
+        """Detach from the forecaster and close the active WAL.
+
+        The WAL teardown sits under the forecaster lock too: a tick
+        racing ``close()`` must either append to the open segment or
+        observe ``None``, never a closed handle.
+        """
         with self.forecaster._lock:
             if self.forecaster._snapshotter is self:
                 self.forecaster._snapshotter = None
-        if self._wal is not None:
-            self._wal.close()
-            self._wal = None
+            if self._wal is not None:
+                self._wal.close()
+                self._wal = None
 
     def __enter__(self) -> "StreamSnapshotter":
         return self

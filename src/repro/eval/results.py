@@ -3,8 +3,11 @@
 from __future__ import annotations
 
 import csv
+import io
 import os
 from typing import Iterable, Mapping
+
+from ..persist import atomic_write_text
 
 __all__ = ["format_table", "save_csv", "best_by", "relative_improvement"]
 
@@ -44,17 +47,23 @@ def format_table(rows: Iterable[Mapping], title: str = "") -> str:
 
 
 def save_csv(rows: Iterable[Mapping], path: str) -> str:
-    """Persist dict rows to CSV, creating directories as needed."""
+    """Persist dict rows to CSV, creating directories as needed.
+
+    Published atomically: experiment sweeps overwrite their result
+    tables in place, and a crash mid-write must not leave a torn CSV
+    that a later aggregation step would silently half-read.
+    """
     rows = [dict(r) for r in rows]
     if not rows:
         raise ValueError("no rows to save")
     os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
     columns = list(rows[0].keys())
-    with open(path, "w", newline="") as handle:
-        writer = csv.DictWriter(handle, fieldnames=columns,
-                                extrasaction="ignore")
-        writer.writeheader()
-        writer.writerows(rows)
+    buffer = io.StringIO(newline="")
+    writer = csv.DictWriter(buffer, fieldnames=columns,
+                            extrasaction="ignore")
+    writer.writeheader()
+    writer.writerows(rows)
+    atomic_write_text(path, buffer.getvalue())
     return path
 
 

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..data import ETT_COLUMNS
 from ..eval import save_csv
+from ..persist import atomic_save_array
 from .common import (
     ExperimentScale,
     get_scale,
@@ -46,7 +47,8 @@ def main() -> dict[str, np.ndarray]:
     labels = ETT_COLUMNS
     out_dir = results_dir()
     for key, matrix in maps.items():
-        np.save(os.path.join(out_dir, f"figure9_{key}.npy"), matrix)
+        atomic_save_array(
+            os.path.join(out_dir, f"figure9_{key}.npy"), matrix)
         print(f"\nFigure 9 — {key} feature self-relations (ETTm1):")
         print(render_heatmap(matrix, labels))
     rows = []

@@ -138,17 +138,18 @@ class Gateway:
         self.meter = meter if meter is not None else Meter()
         self.admission = AdmissionController(
             service, max_pending=max_pending, retry_after=retry_after)
-        self.stats = GatewayStats()
+        self.stats = GatewayStats()  # guarded-by: _lock
         self.predict_units = int(predict_units)
         self.ingest_units = int(ingest_units)
         self.request_timeout = float(request_timeout)
         self._stream_options = dict(
             cadence=cadence, policy=policy, interval=interval,
             max_gap=max_gap, raw_values=raw_values)
+        # guarded-by: _lock
         self._forecasters: dict[tuple[str, int], StreamingForecaster] = {}
-        self._buckets: dict[str, TokenBucket] = {}
+        self._buckets: dict[str, TokenBucket] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
-        self._draining = False
+        self._draining = False  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     # auth + shared plumbing
@@ -387,14 +388,16 @@ class Gateway:
     def health(self) -> Response:
         """``GET /healthz`` — unauthenticated liveness + pressure."""
         depth, flight = self.service.pressure()
+        with self._lock:
+            draining = self._draining
         payload = {
-            "status": "draining" if self._draining else "ok",
+            "status": "draining" if draining else "ok",
             "queue_depth": depth,
             "in_flight": flight,
             "headroom": self.admission.headroom(),
             "models": len(self.service.keys()),
         }
-        return Response(503 if self._draining else 200, payload)
+        return Response(503 if draining else 200, payload)
 
     # ------------------------------------------------------------------
     # parsing
@@ -503,7 +506,8 @@ class Gateway:
     # ------------------------------------------------------------------
     @property
     def draining(self) -> bool:
-        return self._draining
+        with self._lock:
+            return self._draining
 
     def begin_drain(self) -> None:
         """Refuse new work (503) while in-flight requests finish."""

@@ -129,11 +129,12 @@ class ApiKeyRegistry:
         self.default_rate = float(default_rate)
         self.default_burst = float(default_burst)
         self._lock = threading.Lock()
-        self._keys: dict[str, TenantKey] = {}
-        self._mtime_ns: int | None = None
+        self._keys: dict[str, TenantKey] = {}  # guarded-by: _lock
+        self._mtime_ns: int | None = None  # guarded-by: _lock
         self._load(initial=True)
 
-    def _load(self, initial: bool = False) -> None:
+    # (the __init__ call precedes publication — no other thread yet)
+    def _load(self, initial: bool = False) -> None:  # requires-lock: _lock
         try:
             stat = os.stat(self.path)
             with open(self.path, "r", encoding="utf-8") as handle:

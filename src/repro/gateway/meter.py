@@ -110,17 +110,17 @@ class TenantAccount:
         if issued < 0:
             raise ValueError("issued units must be >= 0")
         self.tenant = tenant
-        self.issued = int(issued)
-        self.spent = 0
-        self.reserved = 0
+        self.issued = int(issued)  # guarded-by: _lock
+        self.spent = 0  # guarded-by: _lock
+        self.reserved = 0  # guarded-by: _lock
         #: Spent units broken down by operation kind (predict/ingest).
-        self.spent_by: dict[str, int] = {}
+        self.spent_by: dict[str, int] = {}  # guarded-by: _lock
         #: Committed operation counts by kind.
-        self.ops_by: dict[str, int] = {}
+        self.ops_by: dict[str, int] = {}  # guarded-by: _lock
         self._lock = lock
 
     @property
-    def remaining(self) -> int:
+    def remaining(self) -> int:  # requires-lock: _lock
         return self.issued - self.spent - self.reserved
 
     def reserve(self, units: int, kind: str = "predict") -> UnitReservation:
@@ -188,7 +188,7 @@ class Meter:
         if default_units < 0:
             raise ValueError("default_units must be >= 0")
         self.default_units = int(default_units)
-        self._accounts: dict[str, TenantAccount] = {}
+        self._accounts: dict[str, TenantAccount] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def account(self, tenant: str,
@@ -271,11 +271,11 @@ class TokenBucket:
         self.rate = float(rate)
         self.burst = float(burst)
         self._clock = clock
-        self._tokens = self.burst
-        self._stamp = clock()
+        self._tokens = self.burst  # guarded-by: _lock
+        self._stamp = clock()  # guarded-by: _lock
         self._lock = threading.Lock()
 
-    def _refill(self) -> None:
+    def _refill(self) -> None:  # requires-lock: _lock
         now = self._clock()
         elapsed = max(0.0, now - self._stamp)
         self._stamp = now

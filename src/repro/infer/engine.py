@@ -293,20 +293,20 @@ class CompiledStudent:
             self._quantize_projections()
 
         self._pool = ScratchPool()
-        self._bindings: OrderedDict[int, _Binding] = OrderedDict()
+        self._bindings: OrderedDict[int, _Binding] = OrderedDict()  # guarded-by: _lock
         self._capacity = 0
-        self._variant = (False, False)
+        self._variant = (False, False)  # guarded-by: _lock
         self._lock = threading.Lock()
         #: Forward-call / window counters (monitoring + benchmarks).
-        self.calls = 0
-        self.windows = 0
+        self.calls = 0  # guarded-by: _lock
+        self.windows = 0  # guarded-by: _lock
         #: Full polymorphic compiles (scratch allocation + probe).  A
         #: warmed engine serves any batch size <= capacity at zero.
-        self.rebuilds = 0
+        self.rebuilds = 0  # guarded-by: _lock
         #: Per-batch-size binding cache counters (LRU of cheap tapes).
-        self.plan_hits = 0
-        self.plan_misses = 0
-        self.plan_evictions = 0
+        self.plan_hits = 0  # guarded-by: _lock
+        self.plan_misses = 0  # guarded-by: _lock
+        self.plan_evictions = 0  # guarded-by: _lock
         #: Probe-time error report of the last reduced-precision
         #: compile (empty in float32 mode).
         self.probe_report: dict = {}
@@ -404,6 +404,7 @@ class CompiledStudent:
     # ------------------------------------------------------------------
     # shape-polymorphic planning
     # ------------------------------------------------------------------
+    # requires-lock: _lock
     def _plan(self, B: int, need_attention: bool) -> "_Binding":
         binding = self._bindings.get(B)
         if binding is None:
@@ -427,6 +428,7 @@ class CompiledStudent:
                 binding.views, True, *self._variant)
         return binding
 
+    # requires-lock: _lock (or construction, pre-publication)
     def _recompile(self, capacity: int) -> None:
         """(Re)build the polymorphic plan: scratch, variant, budget.
 
@@ -487,7 +489,7 @@ class CompiledStudent:
                 return (fused, collapsed)
         return (False, False)
 
-    def _enforce_budget(self, probe: np.ndarray) -> None:
+    def _enforce_budget(self, probe: np.ndarray) -> None:  # requires-lock: _lock
         """Assert the reduced-precision tape honors its error budget.
 
         Runs the exact float32 module-mirror tape and the adopted
@@ -501,6 +503,8 @@ class CompiledStudent:
         np.copyto(views.x, probe)
         for op in exact:
             op()
+        # Probe-time float64 reference, never on the serve path.
+        # repro: allow[dtype-hygiene] — sanctioned wide dtype
         reference = views.prediction.astype(np.float64)
 
         module_errors: dict[str, float] = {}
@@ -521,6 +525,7 @@ class CompiledStudent:
                 f"{budget.budget_for(worst):.3e}); offending modules: "
                 f"{sorted(over)}")
         error = float(
+            # repro: allow[dtype-hygiene] — probe-time comparison
             np.abs(views.prediction.astype(np.float64) - reference).max())
         scale = float(np.abs(reference).max())
         allowed = budget.max_abs + budget.max_rel * scale
@@ -831,11 +836,15 @@ class _Views:
         # statistical reductions run through these; everything else
         # stays float32).  Unallocated outside mixed mode.
         if engine.precision == "mixed":
-            self.mean64 = take("mean64", 1, N, dtype=np.float64)
-            self.std64 = take("std64", 1, N, dtype=np.float64)
-            self.red64 = take("red64", N, 1, dtype=np.float64)
-            self.ssum64 = take("ssum64", heads, N, 1, dtype=np.float64)
-            self.att64 = take("att64", N, N, dtype=np.float64)
+            # Mixed mode exists precisely to run the statistical
+            # reductions through float64 accumulators.
+            # repro: allow[dtype-hygiene] — sanctioned wide dtype
+            take64 = partial(take, dtype=np.float64)
+            self.mean64 = take64("mean64", 1, N)
+            self.std64 = take64("std64", 1, N)
+            self.red64 = take64("red64", N, 1)
+            self.ssum64 = take64("ssum64", heads, N, 1)
+            self.att64 = take64("att64", N, N)
         else:
             self.mean64 = self.std64 = self.red64 = None
             self.ssum64 = self.att64 = None

@@ -31,6 +31,7 @@ def clip_grad_norm(parameters, max_norm: float) -> float:
     """
     grads = [p.grad for p in parameters if p.grad is not None]
     total = math.sqrt(sum(
+        # repro: allow[dtype-hygiene] — float32 dot overflows to inf
         float(np.einsum("i,i->", g.ravel(), g.ravel(),
                         dtype=np.float64)) for g in grads))
     if total > max_norm and total > 0.0:

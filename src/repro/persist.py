@@ -30,9 +30,11 @@ import numpy as np
 __all__ = [
     "arrays_digest",
     "atomic_replace",
+    "atomic_save_array",
     "atomic_save_arrays",
     "atomic_write_bytes",
     "atomic_write_json",
+    "atomic_write_text",
 ]
 
 
@@ -93,6 +95,25 @@ def atomic_write_json(path: str, payload, *, fsync: bool = False,
     """Atomically write ``payload`` as pretty-printed JSON."""
     text = json.dumps(payload, indent=indent) + "\n"
     atomic_write_bytes(path, text.encode("utf-8"), fsync=fsync)
+
+
+def atomic_write_text(path: str, text: str, *, fsync: bool = False,
+                      encoding: str = "utf-8") -> None:
+    """Atomically write ``text`` (CSV reports, rendered tables, logs)."""
+    atomic_write_bytes(path, text.encode(encoding), fsync=fsync)
+
+
+def atomic_save_array(path: str, array: np.ndarray) -> str:
+    """Atomically write one array to ``path`` (npy).
+
+    Like ``np.save``, a missing ``.npy`` extension is appended.
+    Returns the written path.
+    """
+    if not path.endswith(".npy"):
+        path = path + ".npy"
+    with atomic_replace(path, suffix=".npy.tmp") as handle:
+        np.save(handle, array)
+    return path
 
 
 def atomic_save_arrays(path: str, arrays: dict[str, np.ndarray]) -> str:

@@ -214,6 +214,20 @@ class ForecastService:
     so N concurrent clients cost one pass of layer overhead instead of N.
     """
 
+    #: Lock discipline, machine-checked by ``repro lint``: ``_wake`` is
+    #: a Condition wrapping ``_lock``, so holding either guards the
+    #: shared state.
+    GUARDED_BY = {
+        "stats": ("_lock", "_wake"),
+        "_paths": ("_lock", "_wake"),
+        "_models": ("_lock", "_wake"),
+        "_pending": ("_lock", "_wake"),
+        "_queue_depth": ("_lock", "_wake"),
+        "_in_flight": ("_lock", "_wake"),
+        "_paused": ("_lock", "_wake"),
+        "_closed": ("_lock", "_wake"),
+    }
+
     def __init__(self, artifact_dir: str, max_models: int = 4,
                  max_batch: int = 64, engine: str = "module",
                  precision: str = "float32", serve_threads: int = 1):

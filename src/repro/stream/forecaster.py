@@ -132,19 +132,19 @@ class StreamingForecaster:
         self.ingestor = StreamIngestor(
             self.input_len, self.num_variables, interval=interval,
             policy=policy, max_gap=max_gap, capacity=capacity)
-        self.stats = StreamStats()
+        self.stats = StreamStats()  # guarded-by: _lock
         self._drift_params = dict(
             window=drift_window, calibration=drift_calibration,
             threshold=drift_threshold, slack=drift_slack)
-        self._runtimes: dict = {}
-        self._latest: dict = {}
+        self._runtimes: dict = {}  # guarded-by: _lock
+        self._latest: dict = {}  # guarded-by: _lock
         # Re-entrant: a checkpoint triggered from inside append() calls
         # export_state() while the append still holds the lock.
         self._lock = threading.RLock()
         #: Successful append() calls so far — the WAL sequence number.
-        self._seq = 0
+        self._seq = 0  # guarded-by: _lock
         #: Attached StreamSnapshotter (see repro.durable), or None.
-        self._snapshotter = None
+        self._snapshotter = None  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     # ingestion + triggering
@@ -204,13 +204,14 @@ class StreamingForecaster:
             return None
         return np.asarray(future.result())
 
-    def _runtime(self, key) -> _SeriesRuntime:
+    def _runtime(self, key) -> _SeriesRuntime:  # requires-lock: _lock
         runtime = self._runtimes.get(key)
         if runtime is None:
             runtime = _SeriesRuntime(DriftMonitor(**self._drift_params))
             self._runtimes[key] = runtime
         return runtime
 
+    # requires-lock: _lock
     def _issue(self, key, runtime: _SeriesRuntime,
                state: SeriesState) -> Future:
         runtime.pending_ticks = 0
@@ -237,6 +238,7 @@ class StreamingForecaster:
     # ------------------------------------------------------------------
     # drift
     # ------------------------------------------------------------------
+    # requires-lock: _lock
     def _score_drift(self, runtime: _SeriesRuntime, state: SeriesState,
                      observed: int) -> None:
         """Score newly realized rows against outstanding forecasts.
@@ -260,7 +262,7 @@ class StreamingForecaster:
             runtime.monitor.update(realized[offset] - prediction)
         self._note_alarm(runtime)
 
-    def _note_alarm(self, runtime: _SeriesRuntime) -> None:
+    def _note_alarm(self, runtime: _SeriesRuntime) -> None:  # requires-lock: _lock
         """Count each alarm episode once, however it was raised."""
         if runtime.monitor.alarmed and not runtime.alarm_counted:
             runtime.alarm_counted = True
@@ -479,7 +481,7 @@ class StreamingForecaster:
             self.ingestor.import_entries({})
             self._runtimes = {}
             self._latest = {}
-            self.stats = StreamStats()
+            self.stats = StreamStats()  # guarded-by: _lock
             self._seq = 0
 
     def snapshot_to(self, path: str) -> str:

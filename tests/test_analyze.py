@@ -1,0 +1,538 @@
+"""Tests for the static-analysis framework and its six rules.
+
+Each rule gets three fixtures: known-good source (no findings),
+known-bad source (seeded violation at a known line) and the same bad
+source with an inline ``# repro: allow[rule-id]`` suppression.  The
+final test is the repo gate: the full registry over the installed
+``repro`` package must report zero findings — a new violation either
+gets fixed or earns an explicit, greppable suppression.
+"""
+
+import os
+import textwrap
+
+import pytest
+
+import repro
+from repro.analyze import (
+    Finding,
+    all_rules,
+    analyze_file,
+    analyze_paths,
+    analyze_source,
+    findings_payload,
+    get_rules,
+    has_failures,
+    iter_python_files,
+    render_text,
+)
+
+EXPECTED_RULES = {
+    "atomic-write": "error",
+    "dtype-hygiene": "error",
+    "fail-closed": "error",
+    "lock-discipline": "error",
+    "thread-lifecycle": "warning",
+    "wall-clock": "error",
+}
+
+
+def check(source, rel="repro/mod.py", rule=None):
+    """Run one rule (or all) over dedented ``source``."""
+    rules = get_rules([rule]) if rule else None
+    return analyze_source(textwrap.dedent(source), path=rel, rel=rel,
+                          rules=rules)
+
+
+# ----------------------------------------------------------------------
+# framework
+# ----------------------------------------------------------------------
+class TestFramework:
+    def test_registry_ids_and_severities(self):
+        rules = {rule.id: rule.severity for rule in all_rules()}
+        assert rules == EXPECTED_RULES
+
+    def test_get_rules_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            get_rules(["no-such-rule"])
+
+    def test_finding_render_format(self):
+        found = Finding("repro/x.py", 3, 7, "wall-clock", "error", "boom")
+        assert found.render() == "repro/x.py:3:7: error: boom [wall-clock]"
+
+    def test_suppression_same_line(self):
+        src = """\
+            import time
+            t = time.time()  # repro: allow[wall-clock] fixture stamp
+        """
+        assert check(src, rel="repro/gateway/x.py") == []
+
+    def test_suppression_line_above(self):
+        src = """\
+            import time
+            # repro: allow[wall-clock] fixture stamp
+            t = time.time()
+        """
+        assert check(src, rel="repro/gateway/x.py") == []
+
+    def test_suppression_star_and_list(self):
+        src = """\
+            import time
+            a = time.time()  # repro: allow[*]
+            b = time.time()  # repro: allow[dtype-hygiene, wall-clock]
+        """
+        assert check(src, rel="repro/gateway/x.py") == []
+
+    def test_trailing_comment_does_not_bleed_to_next_line(self):
+        # A trailing allow-comment suppresses its own line only; the
+        # line below needs its own (line-above matching requires a
+        # comment-only line).
+        src = """\
+            import time
+            a = time.time()  # repro: allow[wall-clock]
+            b = time.time()
+        """
+        found = check(src, rel="repro/gateway/x.py")
+        assert [f.line for f in found] == [3]
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        src = """\
+            import time
+            t = time.time()  # repro: allow[atomic-write]
+        """
+        found = check(src, rel="repro/gateway/x.py")
+        assert [f.rule for f in found] == ["wall-clock"]
+
+    def test_package_scoping(self):
+        src = "import numpy as np\nx = np.zeros(4)\n"
+        assert check(src, rel="repro/infer/x.py") != []
+        assert check(src, rel="repro/eval/x.py") == []
+
+    def test_parse_error_is_a_finding(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        found = analyze_file(str(bad))
+        assert len(found) == 1
+        assert found[0].rule == "parse-error"
+        assert found[0].severity == "error"
+
+    def test_iter_python_files_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            iter_python_files(["/no/such/dir-xyz"])
+
+    def test_iter_python_files_skips_pycache(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "a.cpython-312.pyc.py").write_text("x = 1\n")
+        files = iter_python_files([str(tmp_path)])
+        assert files == [str(tmp_path / "a.py")]
+
+    def test_findings_payload_summary(self):
+        src = "import time\nt = time.time()\n"
+        found = check(src, rel="repro/stream/x.py")
+        payload = findings_payload(found)
+        assert payload["version"] == 1
+        assert payload["summary"]["total"] == 1
+        assert payload["summary"]["by_rule"]["wall-clock"] == 1
+        assert payload["summary"]["by_severity"]["error"] == 1
+        assert {r["id"] for r in payload["rules"]} == set(EXPECTED_RULES)
+
+    def test_has_failures_strictness(self):
+        warning = Finding("f", 1, 0, "thread-lifecycle", "warning", "m")
+        error = Finding("f", 1, 0, "wall-clock", "error", "m")
+        assert not has_failures([])
+        assert not has_failures([warning])
+        assert has_failures([warning], strict=True)
+        assert has_failures([error])
+        assert has_failures([error], strict=False)
+
+    def test_render_text_summary_line(self):
+        text = render_text([])
+        assert text.endswith("0 finding(s): 0 error(s), 0 warning(s)")
+
+
+# ----------------------------------------------------------------------
+# lock-discipline
+# ----------------------------------------------------------------------
+LOCK_BAD = """\
+    import threading
+
+    class Box:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._items = []  # guarded-by: _lock
+
+        def bad(self):
+            return len(self._items)
+
+        def good(self):
+            with self._lock:
+                return len(self._items)
+"""
+
+
+class TestLockDiscipline:
+    def test_unlocked_access_flagged(self):
+        found = check(LOCK_BAD, rule="lock-discipline")
+        assert [f.line for f in found] == [9]
+        assert "guarded by _lock" in found[0].message
+
+    def test_with_lock_is_clean(self):
+        src = """\
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []  # guarded-by: _lock
+
+                def size(self):
+                    with self._lock:
+                        return len(self._items)
+        """
+        assert check(src, rule="lock-discipline") == []
+
+    def test_suppression(self):
+        src = LOCK_BAD.replace(
+            "return len(self._items)",
+            "return len(self._items)  # repro: allow[lock-discipline]", 1)
+        assert check(src, rule="lock-discipline") == []
+
+    def test_init_exempt(self):
+        # LOCK_BAD's __init__ writes _items unlocked; only `bad` fires.
+        found = check(LOCK_BAD, rule="lock-discipline")
+        assert all(f.line != 6 for f in found)
+
+    def test_requires_lock_method(self):
+        src = """\
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0  # guarded-by: _lock
+
+                def _bump(self):  # requires-lock: _lock
+                    self._n += 1
+        """
+        assert check(src, rule="lock-discipline") == []
+
+    def test_guarded_by_class_map_and_multi_lock(self):
+        src = """\
+            import threading
+
+            class Box:
+                GUARDED_BY = {"_n": ("_lock", "_wake")}
+
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._wake = threading.Condition(self._lock)
+                    self._n = 0
+
+                def via_wake(self):
+                    with self._wake:
+                        return self._n
+
+                def bare(self):
+                    return self._n
+        """
+        found = check(src, rule="lock-discipline")
+        assert [f.line for f in found] == [16]
+
+    def test_nested_function_loses_lock(self):
+        src = """\
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0  # guarded-by: _lock
+
+                def sched(self):
+                    with self._lock:
+                        def callback():
+                            return self._n
+                        return callback
+        """
+        found = check(src, rule="lock-discipline")
+        assert [f.line for f in found] == [11]
+
+    def test_dotted_lock_name(self):
+        src = """\
+            class Helper:
+                def __init__(self, owner):
+                    self.owner = owner
+                    self._n = 0  # guarded-by: owner._lock
+
+                def tick(self):
+                    with self.owner._lock:
+                        self._n += 1
+        """
+        assert check(src, rule="lock-discipline") == []
+
+
+# ----------------------------------------------------------------------
+# atomic-write
+# ----------------------------------------------------------------------
+class TestAtomicWrite:
+    def test_open_w_flagged(self):
+        src = """\
+            def dump(path):
+                with open(path, "w") as handle:
+                    handle.write("x")
+        """
+        found = check(src, rule="atomic-write")
+        assert len(found) == 1
+        assert "atomic" in found[0].message
+
+    def test_np_save_and_write_text_flagged(self):
+        src = """\
+            import numpy as np
+
+            def dump(path, arr):
+                np.save(path, arr)
+                path.write_text("x")
+        """
+        found = check(src, rule="atomic-write")
+        assert [f.line for f in found] == [4, 5]
+
+    def test_read_append_and_inplace_clean(self):
+        src = """\
+            def touch(path):
+                with open(path) as handle:
+                    handle.read()
+                with open(path, "ab") as handle:
+                    handle.write(b"x")
+                with open(path, "r+b") as handle:
+                    handle.write(b"x")
+        """
+        assert check(src, rule="atomic-write") == []
+
+    def test_dynamic_mode_not_flagged(self):
+        src = """\
+            def touch(path, mode):
+                with open(path, mode) as handle:
+                    handle.write("x")
+        """
+        assert check(src, rule="atomic-write") == []
+
+    def test_persist_module_exempt(self):
+        src = """\
+            def publish(path):
+                with open(path, "w") as handle:
+                    handle.write("x")
+        """
+        assert check(src, rel="repro/persist.py", rule="atomic-write") == []
+
+    def test_suppression(self):
+        src = """\
+            def debug_dump(path):
+                # repro: allow[atomic-write] non-durable debug output
+                with open(path, "w") as handle:
+                    handle.write("x")
+        """
+        assert check(src, rule="atomic-write") == []
+
+
+# ----------------------------------------------------------------------
+# dtype-hygiene
+# ----------------------------------------------------------------------
+class TestDtypeHygiene:
+    REL = "repro/infer/x.py"
+
+    def test_missing_dtype_flagged(self):
+        src = "import numpy as np\nbuf = np.zeros((4, 4))\n"
+        found = check(src, rel=self.REL, rule="dtype-hygiene")
+        assert len(found) == 1
+        assert "explicit dtype" in found[0].message
+
+    def test_float64_dtype_flagged(self):
+        src = """\
+            import numpy as np
+            a = np.zeros(4, dtype=np.float64)
+            b = x.astype(np.float64)
+            c = np.empty(4, dtype="f8")
+            d = y.astype(float)
+        """
+        found = check(src, rel=self.REL, rule="dtype-hygiene")
+        assert [f.line for f in found] == [2, 3, 4, 5]
+
+    def test_float32_clean(self):
+        src = """\
+            import numpy as np
+            a = np.zeros(4, dtype=np.float32)
+            b = np.array([1.0], np.float32)
+            c = x.astype(np.float32)
+            d = np.full((2, 2), 0.0, np.float32)
+        """
+        assert check(src, rel=self.REL, rule="dtype-hygiene") == []
+
+    def test_out_of_scope_package_clean(self):
+        src = "import numpy as np\nbuf = np.zeros((4, 4))\n"
+        assert check(src, rel="repro/eval/x.py", rule="dtype-hygiene") == []
+
+    def test_suppression(self):
+        src = """\
+            import numpy as np
+            # repro: allow[dtype-hygiene] deliberate wide accumulator
+            acc = np.zeros(4, dtype=np.float64)
+        """
+        assert check(src, rel=self.REL, rule="dtype-hygiene") == []
+
+
+# ----------------------------------------------------------------------
+# fail-closed
+# ----------------------------------------------------------------------
+class TestFailClosed:
+    REL = "repro/durable/x.py"
+
+    def test_bare_except_flagged(self):
+        src = """\
+            def restore():
+                try:
+                    load()
+                except:
+                    pass
+        """
+        found = check(src, rel=self.REL, rule="fail-closed")
+        assert [f.line for f in found] == [4]
+
+    def test_swallowed_broad_except_flagged(self):
+        src = """\
+            def restore():
+                try:
+                    load()
+                except Exception:
+                    pass
+        """
+        found = check(src, rel=self.REL, rule="fail-closed")
+        assert len(found) == 1
+        assert "silently" in found[0].message
+
+    def test_handled_broad_and_narrow_clean(self):
+        src = """\
+            def restore(state):
+                try:
+                    load()
+                except Exception as error:
+                    state.failure_reason = str(error)
+                try:
+                    prune()
+                except OSError:
+                    pass
+        """
+        assert check(src, rel=self.REL, rule="fail-closed") == []
+
+    def test_out_of_scope_package_clean(self):
+        src = "try:\n    x()\nexcept:\n    pass\n"
+        assert check(src, rel="repro/eval/x.py", rule="fail-closed") == []
+
+    def test_suppression(self):
+        src = """\
+            def restore():
+                try:
+                    load()
+                # repro: allow[fail-closed] best-effort fixture teardown
+                except Exception:
+                    pass
+        """
+        assert check(src, rel=self.REL, rule="fail-closed") == []
+
+
+# ----------------------------------------------------------------------
+# wall-clock
+# ----------------------------------------------------------------------
+class TestWallClock:
+    REL = "repro/gateway/x.py"
+
+    def test_time_time_flagged(self):
+        src = "import time\nstamp = time.time()\n"
+        found = check(src, rel=self.REL, rule="wall-clock")
+        assert len(found) == 1
+        assert "monotonic" in found[0].message
+
+    def test_from_time_import_time_flagged(self):
+        src = "from time import time\n"
+        found = check(src, rel=self.REL, rule="wall-clock")
+        assert len(found) == 1
+
+    def test_monotonic_clean(self):
+        src = """\
+            import time
+            a = time.monotonic()
+            b = time.perf_counter()
+            time.sleep(0.1)
+        """
+        assert check(src, rel=self.REL, rule="wall-clock") == []
+
+    def test_out_of_scope_package_clean(self):
+        src = "import time\nstamp = time.time()\n"
+        assert check(src, rel="repro/eval/x.py", rule="wall-clock") == []
+
+    def test_suppression(self):
+        src = """\
+            import time
+            stamp = time.time()  # repro: allow[wall-clock] report stamp
+        """
+        assert check(src, rel=self.REL, rule="wall-clock") == []
+
+
+# ----------------------------------------------------------------------
+# thread-lifecycle
+# ----------------------------------------------------------------------
+class TestThreadLifecycle:
+    def test_orphan_thread_is_warning(self):
+        src = """\
+            import threading
+
+            def spawn(work):
+                threading.Thread(target=work).start()
+        """
+        found = check(src, rule="thread-lifecycle")
+        assert len(found) == 1
+        assert found[0].severity == "warning"
+
+    def test_daemon_clean(self):
+        src = """\
+            import threading
+
+            def spawn(work):
+                thread = threading.Thread(target=work, daemon=True)
+                thread.start()
+        """
+        assert check(src, rule="thread-lifecycle") == []
+
+    def test_joined_clean(self):
+        src = """\
+            import threading
+
+            class Pool:
+                def start(self, work):
+                    self._worker = threading.Thread(target=work)
+                    self._worker.start()
+
+                def close(self):
+                    self._worker.join()
+        """
+        assert check(src, rule="thread-lifecycle") == []
+
+    def test_suppression(self):
+        src = """\
+            import threading
+
+            def spawn(work):
+                # repro: allow[thread-lifecycle] test harness thread
+                threading.Thread(target=work).start()
+        """
+        assert check(src, rule="thread-lifecycle") == []
+
+
+# ----------------------------------------------------------------------
+# the repo gate (tier 1)
+# ----------------------------------------------------------------------
+class TestRepoGate:
+    def test_repro_package_is_clean(self):
+        package_dir = os.path.dirname(os.path.abspath(repro.__file__))
+        findings = analyze_paths([package_dir])
+        assert findings == [], "\n" + render_text(findings)

@@ -356,3 +356,84 @@ class TestMultiSeed:
         row = run_model_seeds("iTransformer", data, scale, seeds=(0, 1))
         assert set(row) == {"model", "mse", "mae", "mse_std", "mae_std"}
         assert np.isfinite(row["mse"]) and row["mse_std"] >= 0.0
+
+
+class TestLint:
+    """The ``repro lint`` subcommand: exit codes, formats, filters."""
+
+    BAD = ("import time\n"
+           "stamp = time.time()\n")
+    WARN_ONLY = ("import threading\n"
+                 "threading.Thread(target=print).start()\n")
+    CLEAN = "VALUE = 1\n"
+
+    @staticmethod
+    def _write(tmp_path, name, source, package="repro/gateway"):
+        target = tmp_path / "src" / package / name
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+        return str(target)
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        path = self._write(tmp_path, "clean.py", self.CLEAN)
+        assert main(["lint", path]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_seeded_violation_exits_one_with_json(self, tmp_path, capsys):
+        import json
+
+        path = self._write(tmp_path, "bad.py", self.BAD)
+        assert main(["lint", "--format", "json", path]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["total"] == 1
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "wall-clock"
+        assert finding["line"] == 2
+        assert finding["severity"] == "error"
+
+    def test_warning_exits_zero_unless_strict(self, tmp_path, capsys):
+        path = self._write(tmp_path, "spawn.py", self.WARN_ONLY)
+        assert main(["lint", path]) == 0
+        assert main(["lint", "--strict", path]) == 1
+        out = capsys.readouterr().out
+        assert "thread-lifecycle" in out
+
+    def test_rule_filter(self, tmp_path, capsys):
+        path = self._write(tmp_path, "bad.py", self.BAD)
+        assert main(["lint", "--rule", "atomic-write", path]) == 0
+        assert main(["lint", "--rule", "wall-clock,atomic-write",
+                     path]) == 1
+        capsys.readouterr()
+
+    def test_unknown_rule_is_usage_error(self, tmp_path, capsys):
+        path = self._write(tmp_path, "clean.py", self.CLEAN)
+        assert main(["lint", "--rule", "no-such-rule", path]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_is_usage_error(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope")
+        assert main(["lint", missing]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_output_writes_json_report(self, tmp_path, capsys):
+        import json
+
+        path = self._write(tmp_path, "bad.py", self.BAD)
+        report = tmp_path / "findings.json"
+        assert main(["lint", "--output", str(report), path]) == 1
+        capsys.readouterr()
+        payload = json.loads(report.read_text())
+        assert payload["summary"]["by_rule"]["wall-clock"] == 1
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("lock-discipline", "atomic-write", "dtype-hygiene",
+                        "fail-closed", "wall-clock", "thread-lifecycle"):
+            assert rule_id in out
+
+    def test_default_paths_cover_installed_package(self, capsys):
+        # No paths = lint the installed repro package; the repo gate in
+        # test_analyze.py keeps this at zero findings.
+        assert main(["lint", "--strict"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
